@@ -1,0 +1,50 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Every benchmark writes its paper-style report to ``results/<name>.txt``
+(and prints it), so EXPERIMENTS.md can reference the exact series
+produced on this machine.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    def _save(name: str, report: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(report + "\n")
+        print(f"\n{report}\n[saved to {path}]")
+
+    return _save
+
+
+def bench_scale() -> float:
+    """Global size multiplier (REPRO_BENCH_SCALE env var, default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def nba2():
+    from repro.experiments.figures import nba2_dataset
+
+    return nba2_dataset(int(20_000 * bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def network2():
+    from repro.experiments.figures import network2_dataset
+
+    return network2_dataset(int(20_000 * bench_scale()))

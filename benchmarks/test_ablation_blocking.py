@@ -1,0 +1,53 @@
+"""Ablation: how much work does the blocking mechanism save S-Hop?
+
+DESIGN.md calls out blocking intervals (Section IV, Figure 3) as the
+design choice distinguishing the score-prioritized algorithms. Disabling
+it (`s-hop-noblock`) keeps answers identical but forces a durability
+check on every heap pop; the gap isolates the mechanism's pruning power.
+"""
+
+from repro.experiments.figures import nba2_dataset
+from repro.experiments.harness import run_algorithm_suite
+from repro.experiments.report import format_table
+
+
+def _run():
+    dataset = nba2_dataset(16_000)
+    out = {}
+    for tau_frac in (0.05, 0.20):
+        tau = int(dataset.n * tau_frac)
+        rows = run_algorithm_suite(
+            dataset,
+            algorithms=["s-hop", "s-hop-noblock"],
+            tau=tau,
+            n_preferences=3,
+        )
+        out[tau_frac] = rows
+    return out
+
+
+def test_ablation_blocking(benchmark, save_report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for tau_frac, algos in results.items():
+        for name, row in algos.items():
+            rows.append(
+                {
+                    "tau": f"{int(tau_frac * 100)}%",
+                    "variant": name,
+                    "durability checks": round(row.mean_durability_queries, 1),
+                    "total topk": round(row.mean_topk_queries, 1),
+                    "mean_ms": round(row.mean_ms, 2),
+                }
+            )
+    save_report(
+        "ablation_blocking",
+        format_table(rows, title="Ablation — S-Hop blocking mechanism on/off (NBA-2)"),
+    )
+    for tau_frac, algos in results.items():
+        with_blocking = algos["s-hop"]
+        without = algos["s-hop-noblock"]
+        # Identical answers are enforced by the harness; blocking must cut
+        # durability checks by a large factor.
+        assert with_blocking.mean_durability_queries * 3 < without.mean_durability_queries, tau_frac
+        assert with_blocking.mean_ms < without.mean_ms

@@ -1,0 +1,99 @@
+"""Ablation: the three top-k building blocks under the same algorithm.
+
+Section II treats the top-k block as pluggable; this ablation runs T-Hop
+over (a) the score-array segment tree, (b) the paper's Appendix-A skyline
+tree, and (c) the appendable block-decomposition index, confirming
+identical answers and comparing costs. It also sweeps the skyline tree's
+LENGTH_THRESHOLD (Appendix A's granularity knob).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.algorithms.base import AlgorithmContext, get_algorithm
+from repro.core.query import QueryStats
+from repro.core.reference import brute_force_durable_topk
+from repro.experiments.figures import nba2_dataset
+from repro.experiments.report import format_table
+from repro.index.block_topk import BlockTopKIndex
+from repro.index.range_topk import ScoreArrayTopKIndex
+from repro.index.skyline_tree import SkylineTree
+from repro.index.topk import CountingTopKIndex
+from repro.scoring import LinearPreference
+
+K, TAU_FRac = 10, 0.10
+
+
+def _run_thop(dataset, scorer, inner_index):
+    stats = QueryStats()
+    index = CountingTopKIndex(inner_index, stats)
+    n = dataset.n
+    ctx = AlgorithmContext(
+        dataset=dataset,
+        index=index,
+        scorer=scorer,
+        k=K,
+        tau=int(n * TAU_FRac),
+        lo=n // 2,
+        hi=n - 1,
+        stats=stats,
+    )
+    start = time.perf_counter()
+    ids = get_algorithm("t-hop").run(ctx)
+    elapsed = (time.perf_counter() - start) * 1e3
+    return ids, stats, elapsed
+
+
+def _measure():
+    dataset = nba2_dataset(16_000)
+    scorer = LinearPreference([0.6, 0.4])
+    scores = scorer.scores(dataset.values)
+    n = dataset.n
+    expected = brute_force_durable_topk(scores, K, n // 2, n - 1, int(n * TAU_FRac))
+
+    rows = []
+    blocks = {
+        "score-array segment tree": lambda: ScoreArrayTopKIndex(scores),
+        "block decomposition (B=64)": lambda: BlockTopKIndex(scores, block_size=64),
+    }
+    for label, factory in blocks.items():
+        build_start = time.perf_counter()
+        inner = factory()
+        build_ms = (time.perf_counter() - build_start) * 1e3
+        ids, stats, query_ms = _run_thop(dataset, scorer, inner)
+        assert ids == expected, label
+        rows.append(
+            {
+                "building block": label,
+                "build_ms": round(build_ms, 2),
+                "query_ms": round(query_ms, 2),
+                "topk_queries": stats.topk_queries,
+            }
+        )
+    for threshold in (32, 128, 512):
+        build_start = time.perf_counter()
+        tree = SkylineTree(dataset, length_threshold=threshold)
+        build_ms = (time.perf_counter() - build_start) * 1e3
+        ids, stats, query_ms = _run_thop(dataset, scorer, tree.bind(scorer))
+        assert ids == expected, threshold
+        rows.append(
+            {
+                "building block": f"skyline tree (threshold={threshold})",
+                "build_ms": round(build_ms, 2),
+                "query_ms": round(query_ms, 2),
+                "topk_queries": stats.topk_queries,
+            }
+        )
+    return rows
+
+
+def test_ablation_index_blocks(benchmark, save_report):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    save_report(
+        "ablation_index_blocks",
+        format_table(rows, title="Ablation — top-k building blocks under T-Hop (NBA-2, 16k)"),
+    )
+    # The invocation count is a property of the algorithm, not the block.
+    counts = {r["topk_queries"] for r in rows}
+    assert len(counts) == 1, counts

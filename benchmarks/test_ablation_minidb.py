@@ -1,0 +1,64 @@
+"""Ablation: MiniDB index-table granularity (block_rows) and buffer size.
+
+The paper's index table granularity is an implementation knob
+(LENGTH_THRESHOLD=128 in Appendix A; block size in the DBMS index
+tables). This ablation sweeps MiniDB's ``block_rows`` and buffer-pool
+capacity under T-Hop to show the cost tradeoff: finer blocks mean
+tighter bounds but more index pages; bigger buffers absorb physical
+reads.
+"""
+
+import numpy as np
+
+from repro.core.record import Dataset
+from repro.data import synthetic_dataset
+from repro.experiments.report import format_table
+from repro.minidb import MiniDB, t_hop_procedure
+
+
+def _measure():
+    dataset = synthetic_dataset("ind", 60_000, 2, seed=1)
+    u = np.array([0.5, 0.5])
+    n = dataset.n
+    rows = []
+    for block_rows in (64, 256, 1024):
+        with MiniDB(dataset, block_rows=block_rows) as db:
+            rep = t_hop_procedure(db, u, 10, n // 10, n // 2, n - 1)
+            rows.append(
+                {
+                    "block_rows": block_rows,
+                    "buffer": 64,
+                    "seconds": round(rep.elapsed_seconds, 3),
+                    "logical": rep.logical_reads,
+                    "physical": rep.physical_reads,
+                    "storage_pages": db.storage_pages(),
+                }
+            )
+    for buffer_pages in (16, 256):
+        with MiniDB(dataset, buffer_pages=buffer_pages) as db:
+            rep = t_hop_procedure(db, u, 10, n // 10, n // 2, n - 1)
+            rows.append(
+                {
+                    "block_rows": 256,
+                    "buffer": buffer_pages,
+                    "seconds": round(rep.elapsed_seconds, 3),
+                    "logical": rep.logical_reads,
+                    "physical": rep.physical_reads,
+                    "storage_pages": db.storage_pages(),
+                }
+            )
+    return rows
+
+
+def test_ablation_minidb(benchmark, save_report):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    save_report(
+        "ablation_minidb",
+        format_table(rows, title="Ablation — MiniDB block_rows / buffer pool under T-Hop"),
+    )
+    by_block = {r["block_rows"]: r for r in rows if r["buffer"] == 64}
+    # Coarser blocks -> fewer storage pages for the index.
+    assert by_block[1024]["storage_pages"] <= by_block[64]["storage_pages"]
+    by_buffer = {r["buffer"]: r for r in rows if r["block_rows"] == 256}
+    # Bigger buffer -> fewer physical reads, same logical reads.
+    assert by_buffer[256]["physical"] <= by_buffer[16]["physical"]

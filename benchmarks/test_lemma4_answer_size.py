@@ -1,0 +1,60 @@
+"""Lemma 4 validation: E[|S|] = k|I|/(tau+1) under the random permutation
+model, independent of the adversary's value distribution.
+
+This is the Section V result that makes the hop algorithms' complexity
+"linear in the output size in expectation". The paper validates it
+implicitly through Figures 8–10; here it is measured directly.
+"""
+
+import numpy as np
+
+from repro.analysis.expected import (
+    empirical_answer_size,
+    expected_answer_size,
+    expected_answer_size_clipped,
+)
+from repro.data.synthetic import random_permutation_scores
+from repro.experiments.report import format_table
+
+
+def _measure(n=20_000, trials=8):
+    """Measure |S| over [tau, n-1] (full windows: the lemma's model) and
+    over [0, n-1] (with the clipped-window correction)."""
+    rows = []
+    for k, tau in ((1, 499), (5, 999), (10, 1999), (25, 999)):
+        full = [
+            empirical_answer_size(random_permutation_scores(n, seed=s), k, tau, lo=tau)
+            for s in range(trials)
+        ]
+        measured = float(np.mean(full))
+        predicted = expected_answer_size(k, n - tau, tau)
+        whole = [
+            empirical_answer_size(random_permutation_scores(n, seed=s), k, tau)
+            for s in range(trials)
+        ]
+        measured_whole = float(np.mean(whole))
+        predicted_whole = expected_answer_size_clipped(k, n, tau)
+        rows.append(
+            {
+                "k": k,
+                "tau": tau,
+                "predicted E|S|": round(predicted, 1),
+                "measured |S|": round(measured, 1),
+                "rel err": f"{abs(measured - predicted) / predicted:.1%}",
+                "clipped pred": round(predicted_whole, 1),
+                "clipped meas": round(measured_whole, 1),
+                "clipped err": f"{abs(measured_whole - predicted_whole) / predicted_whole:.1%}",
+            }
+        )
+    return rows
+
+
+def test_lemma4_answer_size(benchmark, save_report):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    report = format_table(rows, title="Lemma 4 — E[|S|] = k|I|/(tau+1) under RPM")
+    save_report("lemma4_answer_size", report)
+    for row in rows:
+        rel = float(row["rel err"].rstrip("%")) / 100
+        assert rel < 0.20, row
+        clipped = float(row["clipped err"].rstrip("%")) / 100
+        assert clipped < 0.20, row

@@ -1,0 +1,61 @@
+"""Planner validation: does `algorithm="auto"` pick a near-best algorithm?
+
+The planner prices algorithms with the Lemma 4/5 expectations. Across a
+grid of query shapes (selectivity x dimensionality), the planner's pick
+must stay within a small factor of the fastest measured algorithm — the
+executable version of the paper's Section VI guidance.
+"""
+
+from repro.data import generate_network, network_variant
+from repro.experiments.harness import run_algorithm_suite
+from repro.experiments.report import format_table
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.scoring import LinearPreference
+import numpy as np
+
+
+def _measure():
+    full = generate_network(12_000, seed=11)
+    rows = []
+    for d in (2, 20):
+        dataset = network_variant(full, d)
+        n = dataset.n
+        engine = DurableTopKEngine(dataset, skyband_k_max=16)
+        engine.prepare(["s-band"])
+        for tau_frac in (0.02, 0.25):
+            tau = int(n * tau_frac)
+            suite = run_algorithm_suite(
+                dataset,
+                algorithms=["t-base", "s-base", "t-hop", "s-band", "s-hop"],
+                tau=tau,
+                n_preferences=2,
+                engine=engine,
+            )
+            rng = np.random.default_rng(0)
+            scorer = LinearPreference(rng.random(d) + 0.01)
+            decision = engine.plan(DurableTopKQuery(k=10, tau=tau), scorer)
+            best = min(suite.values(), key=lambda r: r.mean_ms)
+            chosen = suite[decision.algorithm]
+            rows.append(
+                {
+                    "d": d,
+                    "tau": f"{tau_frac:.0%}",
+                    "planner": decision.algorithm,
+                    "planner_ms": round(chosen.mean_ms, 2),
+                    "best": best.algorithm,
+                    "best_ms": round(best.mean_ms, 2),
+                    "overhead": round(chosen.mean_ms / max(best.mean_ms, 1e-9), 2),
+                }
+            )
+    return rows
+
+
+def test_planner_validation(benchmark, save_report):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    save_report(
+        "planner_validation",
+        format_table(rows, title="Planner validation — auto choice vs measured best"),
+    )
+    for row in rows:
+        assert row["overhead"] <= 3.0, row

@@ -1,0 +1,75 @@
+"""The Figure 1 case study: durable vs tumbling vs sliding top-k.
+
+Finds "noteworthy rebound performances" in a synthetic NBA history and
+contrasts the three query semantics the paper discusses:
+
+* durable top-k  — best within the 5 "seasons" leading up to the game;
+* tumbling-window — best per fixed 5-season partition (placement-sensitive);
+* sliding-window  — union of bests over all window positions (overwhelming).
+
+Run:  python examples/nba_case_study.py
+"""
+
+import numpy as np
+
+from repro import DurableTopKQuery, DurableTopKEngine, SingleAttribute
+from repro.core.windows import sliding_window_union, tumbling_window_topk
+from repro.data import generate_nba
+
+SEASONS_PER_WINDOW = 5
+
+nba = generate_nba(20_000, seed=7)
+rebounds_dim = nba.attribute_names.index("rebounds")
+scorer = SingleAttribute(rebounds_dim)
+scores = scorer.scores(nba.values)
+
+# A "5-year window" in record counts: records per season * 5.
+records_per_season = nba.n // (2019 - 1983 + 1)
+tau = records_per_season * SEASONS_PER_WINDOW
+
+engine = DurableTopKEngine(nba)
+durable = engine.query(DurableTopKQuery(k=1, tau=tau), scorer, algorithm="t-hop")
+
+print(f"=== Durable top-1 rebound performances (tau = {SEASONS_PER_WINDOW} seasons) ===")
+print(f"{len(durable.ids)} records; the best-of-the-last-5-seasons each time:\n")
+shown = [t for t in durable.ids if scores[t] >= 15]  # skip the early ramp-up
+for t in shown[-12:]:
+    rec = nba.record(t)
+    print(f"  {rec.timestamp}  {rec.label:12s} {int(scores[t]):3d} rebounds "
+          f"(best of the {SEASONS_PER_WINDOW} seasons before)")
+
+# ---------------------------------------------------------------------------
+# Tumbling windows: results change with window placement — the paper's
+# complaint about cherry-picked windows.
+# ---------------------------------------------------------------------------
+print("\n=== Tumbling-window top-1 (placement-sensitive) ===")
+for offset_label, offset in (("aligned", 0), ("shifted", tau // 2)):
+    winners = {
+        ids[0] for _, ids in tumbling_window_topk(scores, 1, tau, offset=offset) if ids
+    }
+    flagged = sorted(winners)
+    print(f"  placement {offset_label:8s}: {len(flagged)} winners, e.g. "
+          + ", ".join(
+              f"{nba.record(t).label}({int(scores[t])})" for t in flagged[-4:]
+          ))
+overlap_a = {ids[0] for _, ids in tumbling_window_topk(scores, 1, tau, 0) if ids}
+overlap_b = {ids[0] for _, ids in tumbling_window_topk(scores, 1, tau, tau // 2) if ids}
+print(f"  winners common to both placements: {len(overlap_a & overlap_b)} "
+      f"of {len(overlap_a | overlap_b)} — placement matters.")
+
+# ---------------------------------------------------------------------------
+# Sliding windows: placement-insensitive but overwhelming. At k=3 the
+# union of per-position top-3 sets dwarfs the durable result (and records
+# flicker in and out as the window slides — the discontinuity the paper
+# illustrates with Drummond's 29-rebound game).
+# ---------------------------------------------------------------------------
+print("\n=== Sliding-window vs durable at k=3 (full-window region) ===")
+union3 = [t for t in sliding_window_union(scores, 3, tau) if t >= tau]
+durable3 = engine.query(
+    DurableTopKQuery(k=3, tau=tau, interval=(tau, nba.n - 1)), scorer, algorithm="t-hop"
+)
+print(f"  sliding union: {len(union3)} records;  durable top-3: {len(durable3.ids)} —")
+print("  the sliding answer is diluted with records that merely shared a")
+print("  window with a peak; the durable answer names the peaks themselves.")
+print(f"  every durable record appears in the sliding union: "
+      f"{set(durable3.ids) <= set(union3)}")

@@ -1,0 +1,77 @@
+"""Weather scenario from the paper's introduction.
+
+"In late January 2019, an extreme cold wave hit the Midwestern United
+States, and brought the coldest temperatures in the past 20 years to
+most locations in the affected region" — a durable top-k query over
+historical daily temperatures, ranking by *coldness*.
+
+Ranking by coldness means a negative-weight scoring function — not
+monotone, which exercises the library's arbitrary-scorer path (S-Band is
+unavailable; the hop algorithms work unchanged).
+
+Run:  python examples/weather_records.py
+"""
+
+import numpy as np
+
+from repro import Dataset, DurableTopKEngine, DurableTopKQuery, LinearPreference
+
+# ---------------------------------------------------------------------------
+# Synthesise ~55 years of daily minimum temperatures for one station:
+# seasonal cycle + slow warming trend + weather noise + rare cold snaps.
+# ---------------------------------------------------------------------------
+rng = np.random.default_rng(2019)
+years = 55
+n = years * 365
+day = np.arange(n)
+seasonal = -12.0 * np.cos(2 * np.pi * (day % 365) / 365.0)
+warming = 0.00008 * day  # ~1.6 C over the record
+noise = rng.normal(0, 4.0, n)
+snaps = np.zeros(n)
+for _ in range(40):  # occasional multi-day cold snaps
+    start = rng.integers(0, n - 7)
+    snaps[start : start + rng.integers(2, 7)] -= rng.uniform(6, 18)
+temps = 8.0 + seasonal + warming + noise + snaps
+
+labels = [f"y{1965 + d // 365}-d{d % 365:03d}" for d in day]
+station = Dataset(
+    temps[:, None],
+    timestamps=labels,
+    attribute_names=["min_temp_c"],
+    name="station",
+)
+
+# Rank by coldness: score = -temperature (negative weight).
+coldness = LinearPreference([-1.0])
+engine = DurableTopKEngine(station)
+
+# ---------------------------------------------------------------------------
+# "Coldest temperature in the past 20 years" days.
+# ---------------------------------------------------------------------------
+tau20 = 20 * 365
+res = engine.query(
+    DurableTopKQuery(k=1, tau=tau20), coldness, algorithm="t-hop", with_durations=True
+)
+print(f"{len(res.ids)} days were the coldest of the preceding 20 years")
+print("the most recent few:")
+for t in res.ids[-5:]:
+    rec = station.record(t)
+    duration_days = res.durations[t]
+    span = "entire record" if duration_days >= n else f"{duration_days / 365:.0f} years"
+    print(f"  {rec.timestamp}: {rec.values[0]:6.1f} C  (coldest of the prior {span})")
+
+# ---------------------------------------------------------------------------
+# Climate trend: with warming, long-durability cold records should thin
+# out over time. Count durable cold days per decade.
+# ---------------------------------------------------------------------------
+print("\nDurable cold records per decade (k=1, 10-year lookback):")
+res10 = engine.query(DurableTopKQuery(k=1, tau=10 * 365), coldness, algorithm="t-hop")
+per_decade: dict[int, int] = {}
+for t in res10.ids:
+    decade = 1965 + (t // 365) // 10 * 10
+    per_decade[decade] = per_decade.get(decade, 0) + 1
+for decade in sorted(per_decade):
+    label = f"{decade}s"
+    print(f"  {label}: {'#' * per_decade[decade]} ({per_decade[decade]})")
+print("\n(the first decade is inflated by short lookback windows; the"
+      "\n tail thins as warming makes new all-time cold records rarer)")

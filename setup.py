@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+`pip install -e .` needs to build a wheel on modern pip; in fully offline
+environments without the `wheel` distribution, `python setup.py develop`
+installs the same editable package. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

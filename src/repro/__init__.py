@@ -1,0 +1,60 @@
+"""repro — durable top-k queries over instant-stamped temporal records.
+
+A faithful, pure-Python reproduction of "Durable Top-K Instant-Stamped
+Temporal Records with User-Specified Scoring Functions" (ICDE 2021).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Dataset, LinearPreference, durable_topk
+
+    data = Dataset(np.random.rand(10_000, 2))
+    result = durable_topk(data, LinearPreference([0.5, 0.5]), k=5, tau=500)
+    print(result.ids)           # arrival times of the durable records
+    print(result.stats.topk_queries)
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core.claims import claim_for, claims_for_result
+from repro.core.engine import DurableTopKEngine, durable_topk
+from repro.core.planner import choose_algorithm
+from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, QueryStats
+from repro.core.record import Dataset, Record
+from repro.core.streaming import StreamingDurableMonitor
+from repro.core.timeline import Timeline
+from repro.data.loader import load_csv
+from repro.scoring import (
+    CosinePreference,
+    LinearPreference,
+    MonotonePreference,
+    ScoringFunction,
+    SingleAttribute,
+    random_preference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Record",
+    "Direction",
+    "DurableTopKQuery",
+    "DurableTopKResult",
+    "QueryStats",
+    "DurableTopKEngine",
+    "durable_topk",
+    "StreamingDurableMonitor",
+    "Timeline",
+    "choose_algorithm",
+    "claim_for",
+    "claims_for_result",
+    "load_csv",
+    "ScoringFunction",
+    "SingleAttribute",
+    "LinearPreference",
+    "MonotonePreference",
+    "CosinePreference",
+    "random_preference",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Expected-complexity analysis (Section V of the paper)."""
+
+from repro.analysis.expected import (
+    empirical_answer_size,
+    expected_answer_size,
+    expected_candidate_bound,
+    expected_skyband_size,
+)
+
+__all__ = [
+    "expected_answer_size",
+    "expected_candidate_bound",
+    "expected_skyband_size",
+    "empirical_answer_size",
+]

@@ -1,0 +1,32 @@
+"""Core durable top-k machinery: data model, query types and algorithms."""
+
+from repro.core.blocking import BlockingIntervals
+from repro.core.durability import is_durable, max_durability
+from repro.core.engine import DurableTopKEngine, durable_topk
+from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, QueryStats
+from repro.core.record import Dataset, Record
+from repro.core.reference import (
+    brute_force_durable_topk,
+    brute_force_topk,
+    strictly_better_counts,
+)
+from repro.core.windows import sliding_window_topk, tumbling_window_topk
+
+__all__ = [
+    "Dataset",
+    "Record",
+    "Direction",
+    "DurableTopKQuery",
+    "DurableTopKResult",
+    "QueryStats",
+    "DurableTopKEngine",
+    "durable_topk",
+    "BlockingIntervals",
+    "is_durable",
+    "max_durability",
+    "brute_force_durable_topk",
+    "brute_force_topk",
+    "strictly_better_counts",
+    "sliding_window_topk",
+    "tumbling_window_topk",
+]

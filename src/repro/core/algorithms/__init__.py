@@ -1,0 +1,31 @@
+"""The paper's five durable top-k algorithms.
+
+Time-prioritized (Section III): :class:`TimeBaseline` (T-Base) and
+:class:`TimeHop` (T-Hop). Score-prioritized (Section IV):
+:class:`ScoreBaseline` (S-Base), :class:`ScoreBand` (S-Band) and
+:class:`ScoreHop` (S-Hop).
+
+All algorithms are pure control flow over the
+:class:`~repro.core.algorithms.base.AlgorithmContext`; they answer the same
+query exactly and differ only in how many top-k building-block calls they
+make (Lemmas 1 and 3).
+"""
+
+from repro.core.algorithms.base import ALGORITHMS, AlgorithmContext, DurableTopKAlgorithm, get_algorithm
+from repro.core.algorithms.score_band import ScoreBand
+from repro.core.algorithms.score_baseline import ScoreBaseline
+from repro.core.algorithms.score_hop import ScoreHop
+from repro.core.algorithms.time_baseline import TimeBaseline
+from repro.core.algorithms.time_hop import TimeHop
+
+__all__ = [
+    "AlgorithmContext",
+    "DurableTopKAlgorithm",
+    "ALGORITHMS",
+    "get_algorithm",
+    "TimeBaseline",
+    "TimeHop",
+    "ScoreBaseline",
+    "ScoreBand",
+    "ScoreHop",
+]

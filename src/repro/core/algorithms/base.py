@@ -1,0 +1,122 @@
+"""Shared infrastructure for the durable top-k algorithms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Type
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.query import QueryStats
+    from repro.core.record import Dataset
+    from repro.index.kskyband import DurableSkybandIndex
+    from repro.index.topk import CountingTopKIndex
+    from repro.scoring.base import ScoringFunction
+
+__all__ = ["AlgorithmContext", "DurableTopKAlgorithm", "ALGORITHMS", "get_algorithm", "register"]
+
+
+@dataclass
+class AlgorithmContext:
+    """Everything an algorithm needs to answer one look-back query.
+
+    The engine resolves the direction beforehand, so algorithms only ever
+    see look-back semantics on a (possibly reversed) dataset.
+
+    Attributes
+    ----------
+    dataset:
+        The dataset being queried.
+    index:
+        Counting top-k building block, already bound to the preference.
+    scorer:
+        The scoring function (used for bulk scoring in sort-based
+        algorithms; point lookups go through ``index.score``).
+    k, tau:
+        Query parameters.
+    lo, hi:
+        The resolved inclusive query interval.
+    stats:
+        Counter sink shared with the engine.
+    skyband:
+        The durable k-skyband index; ``None`` unless the engine was built
+        with one (required by S-Band only).
+    """
+
+    dataset: "Dataset"
+    index: "CountingTopKIndex"
+    scorer: "ScoringFunction"
+    k: int
+    tau: int
+    lo: int
+    hi: int
+    stats: "QueryStats"
+    skyband: "DurableSkybandIndex | None" = None
+
+    def scores_for(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorised scores for an array of record ids."""
+        ids = np.asarray(ids, dtype=np.int64)
+        return self.scorer.scores(self.dataset.values[ids])
+
+    def sort_ids_desc(self, ids: np.ndarray) -> list[int]:
+        """Sort ids best-first under the canonical order, counting the work."""
+        from repro.core.order import sort_ids_canonical
+
+        ids = np.asarray(ids, dtype=np.int64)
+        self.stats.records_sorted += len(ids)
+        return [int(i) for i in sort_ids_canonical(ids, self.scores_for(ids))]
+
+
+class DurableTopKAlgorithm(ABC):
+    """Base class: a named strategy producing the exact durable top-k set."""
+
+    #: Registry key and report label, e.g. ``"t-hop"``.
+    name: str = "abstract"
+
+    #: Whether the algorithm requires a monotone scoring function.
+    requires_monotone: bool = False
+
+    #: Whether the algorithm requires a durable k-skyband index.
+    requires_skyband: bool = False
+
+    @abstractmethod
+    def run(self, ctx: AlgorithmContext) -> list[int]:
+        """Return durable record ids in ``[ctx.lo, ctx.hi]``, ascending."""
+
+    def check_supported(self, ctx: AlgorithmContext) -> None:
+        """Raise when the context cannot support this algorithm."""
+        if self.requires_monotone and not ctx.scorer.is_monotone:
+            raise ValueError(
+                f"{self.name} only supports monotone scoring functions; "
+                f"{ctx.scorer.name} is not monotone"
+            )
+        if self.requires_skyband and ctx.skyband is None:
+            raise ValueError(
+                f"{self.name} needs a DurableSkybandIndex; build the engine "
+                "with with_skyband=True (or pass skyband_k_max)"
+            )
+
+
+#: Registry of available algorithms, keyed by ``name``.
+ALGORITHMS: dict[str, Type[DurableTopKAlgorithm]] = {}
+
+
+def register(cls: Type[DurableTopKAlgorithm]) -> Type[DurableTopKAlgorithm]:
+    """Class decorator adding an algorithm to the registry."""
+    ALGORITHMS[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str) -> DurableTopKAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    >>> get_algorithm("t-hop").name
+    't-hop'
+    """
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; available: {known}") from None

@@ -1,0 +1,78 @@
+"""S-Band — durable k-skyband candidates (Section IV-B, Algorithm 2).
+
+For monotone scoring functions, any record in the top-k of a window belongs
+to the window's k-skyband; hence a tau-durable top-k record must be
+tau-durable for the k-skyband. The offline
+:class:`~repro.index.kskyband.DurableSkybandIndex` maps each record to its
+longest k-skyband duration, so one 3-sided range query yields a candidate
+superset ``C`` of the answer. Only ``C`` is sorted and examined.
+
+A candidate blocked by fewer than ``k`` intervals still needs a durability
+check: records outside ``C`` are never durable themselves, yet may outscore
+(block) candidates, and those blockers are discovered lazily from the
+top-k sets returned by failed durability checks (Figure 5).
+
+Tie refinement (see DESIGN.md): the candidate-superset guarantee needs
+Pareto domination to imply a *strictly* greater score. With a zero weight,
+a record can tie its dominators' scores — durable under the library's
+(and the paper's pi<=k) semantics while outside the durable k-skyband.
+S-Band therefore requires ``scorer.is_strictly_monotone``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import AlgorithmContext, DurableTopKAlgorithm, register
+from repro.core.blocking import BlockingIntervals
+
+__all__ = ["ScoreBand"]
+
+
+@register
+class ScoreBand(DurableTopKAlgorithm):
+    """The S-Band algorithm (Algorithm 2)."""
+
+    name = "s-band"
+    requires_monotone = True
+    requires_skyband = True
+
+    def check_supported(self, ctx: AlgorithmContext) -> None:
+        super().check_supported(ctx)
+        if not getattr(ctx.scorer, "is_strictly_monotone", False):
+            raise ValueError(
+                "s-band requires a strictly monotone scoring function "
+                "(Pareto domination must imply a strictly greater score, "
+                "e.g. a linear preference with all-positive weights); "
+                f"{ctx.scorer.name} does not guarantee this"
+            )
+
+    def run(self, ctx: AlgorithmContext) -> list[int]:
+        self.check_supported(ctx)
+        index, k, tau = ctx.index, ctx.k, ctx.tau
+
+        candidates = ctx.skyband.candidates(k, ctx.lo, ctx.hi, tau)
+        ctx.stats.candidate_set_size = len(candidates)
+        if not candidates:
+            return []
+        ordered = ctx.sort_ids_desc(np.asarray(candidates))
+
+        blocks = BlockingIntervals(ctx.dataset.n, tau)
+        answer: list[int] = []
+        for p in ordered:
+            if blocks.count_at(p) < k:
+                top = index.topk(k, p - tau, p, kind="durability")
+                if p in top:
+                    answer.append(p)
+                else:
+                    ctx.stats.false_checks += 1
+                    # Every returned record outscores p; make each block
+                    # future (lower-scoring) candidates.
+                    for q in top:
+                        blocks.add(q)
+            else:
+                ctx.stats.blocked_skips += 1
+            blocks.add(p)
+        ctx.stats.blocking_intervals = blocks.n_intervals
+        answer.sort()
+        return answer

@@ -1,0 +1,49 @@
+"""S-Base — full-sort score-prioritized baseline (Section IV-A).
+
+Sort every record arriving in ``[lo - tau, hi]`` by descending score and
+process in that order, maintaining blocking intervals:
+
+* a record inside the query interval covered by fewer than ``k`` blocking
+  intervals is durable (every possible blocker scores lower and is yet to
+  be processed);
+* every processed record adds its blocking interval ``[p.t, p.t + tau]``.
+
+No top-k queries at all — the entire cost is the ``O(n log n)`` sort, which
+is exactly why the paper dismisses it on large intervals.
+
+Records *before* ``lo - tau`` can never intersect a query-interval record's
+look-back window, so the sort range matches the paper's ``[t1 - tau, t2]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import AlgorithmContext, DurableTopKAlgorithm, register
+from repro.core.blocking import BlockingIntervals
+
+__all__ = ["ScoreBaseline"]
+
+
+@register
+class ScoreBaseline(DurableTopKAlgorithm):
+    """The S-Base algorithm."""
+
+    name = "s-base"
+
+    def run(self, ctx: AlgorithmContext) -> list[int]:
+        self.check_supported(ctx)
+        k, tau = ctx.k, ctx.tau
+        start = max(0, ctx.lo - tau)
+        ids = np.arange(start, ctx.hi + 1)
+        ordered = ctx.sort_ids_desc(ids)
+
+        blocks = BlockingIntervals(ctx.dataset.n, tau)
+        answer: list[int] = []
+        for t in ordered:
+            if ctx.lo <= t <= ctx.hi and blocks.count_at(t) < k:
+                answer.append(t)
+            blocks.add(t)
+        ctx.stats.blocking_intervals = blocks.n_intervals
+        answer.sort()
+        return answer

@@ -1,0 +1,77 @@
+"""T-Base — the sliding-window baseline (Section III-A).
+
+Follows the continuous-monitoring approach of Mouratidis et al. [11]: slide
+a ``tau``-length window backwards from the right end of the query interval,
+maintaining its top-k set incrementally. The record arriving at the
+window's right endpoint is durable iff it belongs to the maintained top-k.
+
+Sliding from ``[t - tau, t]`` to ``[t - tau - 1, t - 1]`` expires the
+record at ``t`` and admits the record at ``t - tau - 1``:
+
+* if the expired record is **not** in the current top-k, the top-k only
+  changes if the admitted record beats the current k-th — an ``O(log k)``
+  incremental update;
+* otherwise the top-k must be recomputed from scratch with one top-k query.
+
+Every record in the interval is visited, so the running time is linear in
+``|I|`` regardless of the answer size — the weakness T-Hop removes.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.algorithms.base import AlgorithmContext, DurableTopKAlgorithm, register
+
+__all__ = ["TimeBaseline"]
+
+
+@register
+class TimeBaseline(DurableTopKAlgorithm):
+    """The T-Base algorithm."""
+
+    name = "t-base"
+
+    def run(self, ctx: AlgorithmContext) -> list[int]:
+        self.check_supported(ctx)
+        index, k, tau = ctx.index, ctx.k, ctx.tau
+        answer: list[int] = []
+
+        t = ctx.hi
+        # Maintained state: the canonical top-k of [t - tau, t], stored as
+        # an ascending list of (score, id) keys plus an id set.
+        top_keys: list[tuple[float, int]] = sorted(
+            (index.score(i), i) for i in index.topk(k, t - tau, t, kind="durability")
+        )
+        top_ids = {i for _, i in top_keys}
+
+        while t >= ctx.lo:
+            if t in top_ids:
+                answer.append(t)
+            if t == ctx.lo:
+                break
+            # Slide the window: expire the record at t, admit t - tau - 1.
+            if t in top_ids:
+                top_keys = sorted(
+                    (index.score(i), i)
+                    for i in index.topk(k, t - 1 - tau, t - 1, kind="durability")
+                )
+                top_ids = {i for _, i in top_keys}
+            else:
+                entering = t - 1 - tau
+                if entering >= 0:
+                    ctx.stats.incremental_updates += 1
+                    key = (index.score(entering), entering)
+                    if len(top_keys) < k:
+                        bisect.insort(top_keys, key)
+                        top_ids.add(entering)
+                    elif key > top_keys[0]:
+                        _, evicted = top_keys[0]
+                        top_ids.discard(evicted)
+                        top_keys.pop(0)
+                        bisect.insort(top_keys, key)
+                        top_ids.add(entering)
+            t -= 1
+
+        answer.reverse()
+        return answer

@@ -1,0 +1,48 @@
+"""T-Hop — time-prioritized traversal with hops (Section III-B, Algorithm 1).
+
+Visit records right-to-left. For the record at ``t``, ask one top-k query
+on ``[t - tau, t]``:
+
+* if the record is in the top-k it is durable; step to ``t - 1``;
+* otherwise *hop* directly to the most recent arrival time among the top-k
+  set — no record strictly between can be durable, because all k top
+  records lie inside its look-back window with strictly higher scores
+  (Figure 2).
+
+Lemma 1 bounds the number of top-k queries by
+``O(|S| + k * ceil(|I| / tau))``.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import AlgorithmContext, DurableTopKAlgorithm, register
+
+__all__ = ["TimeHop"]
+
+
+@register
+class TimeHop(DurableTopKAlgorithm):
+    """The T-Hop algorithm (Algorithm 1)."""
+
+    name = "t-hop"
+
+    def run(self, ctx: AlgorithmContext) -> list[int]:
+        self.check_supported(ctx)
+        index, k, tau = ctx.index, ctx.k, ctx.tau
+        answer: list[int] = []
+        t = ctx.hi
+        while t >= ctx.lo:
+            top = index.topk(k, t - tau, t, kind="durability")
+            if t in top:
+                answer.append(t)
+                t -= 1
+            else:
+                ctx.stats.false_checks += 1
+                # Hop to the newest top-k member; everything in between is
+                # dominated by all k of them within its own window.
+                target = max(top)
+                ctx.stats.hops += 1
+                ctx.stats.hop_distance += t - target
+                t = target
+        answer.reverse()
+        return answer

@@ -1,0 +1,109 @@
+"""Turning durable top-k answers into publishable claims.
+
+The paper motivates durable top-k with statements journalists and
+marketers make: "On January 22, 2006, Kobe Bryant dropped 81 points —
+the top-1 scoring performance of the past 45 years". This module renders
+query results into exactly that kind of sentence, using the record's
+original timestamp/label, the query parameters, and (when computed) the
+maximum durability.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Direction, DurableTopKResult
+from repro.core.record import Dataset
+
+__all__ = ["claim_for", "claims_for_result"]
+
+
+def _ordinal_phrase(k: int) -> str:
+    return "top record" if k == 1 else f"top-{k} record"
+
+
+def _span_phrase(slots: int, slots_per_unit: int | None, unit: str) -> str:
+    if slots_per_unit:
+        amount = max(1, round(slots / slots_per_unit))
+        plural = unit if amount == 1 else unit + "s"
+        return f"{amount} {plural}"
+    plural = "arrival" if slots == 1 else "arrivals"
+    return f"{slots} {plural}"
+
+
+def claim_for(
+    dataset: Dataset,
+    t: int,
+    k: int,
+    tau: int,
+    direction: Direction = Direction.PAST,
+    duration: int | None = None,
+    slots_per_unit: int | None = None,
+    unit: str = "season",
+    value_format: str = "{:.0f}",
+    highlight_dim: int | None = None,
+) -> str:
+    """One publishable sentence for a durable record.
+
+    ``duration`` (from ``with_durations=True``) upgrades the claim from
+    the queried ``tau`` to the record's actual maximum durability;
+    ``slots_per_unit``/``unit`` convert arrival slots to calendar-speak
+    (e.g. records-per-season); ``highlight_dim`` names the attribute value
+    to quote.
+
+    >>> import numpy as np
+    >>> from repro.core.record import Dataset
+    >>> data = Dataset(np.array([[10.], [20.]]), timestamps=["Jan", "Feb"],
+    ...                labels=["Ann", "Bob"])
+    >>> claim_for(data, 1, k=1, tau=1, highlight_dim=0)
+    'On Feb, Bob recorded x0 = 20 — the top record of the preceding 2 arrivals.'
+    """
+    record = dataset.record(t)
+    when = record.timestamp if record.timestamp is not None else f"t={t}"
+    who = record.label or f"record {t}"
+    what = ""
+    if highlight_dim is not None:
+        name = dataset.attribute_names[highlight_dim]
+        value = value_format.format(record.values[highlight_dim])
+        what = f" recorded {name} = {value}"
+
+    span_slots = duration if duration is not None else tau
+    whole_history = duration is not None and duration >= dataset.n
+    if whole_history:
+        span = "entire recorded history"
+    else:
+        # A tau-window covers tau + 1 arrival slots, the record included.
+        span = _span_phrase(span_slots + 1, slots_per_unit, unit)
+
+    if direction is Direction.PAST:
+        scope = "of the preceding " + span if not whole_history else "of the " + span
+    else:
+        scope = "for the following " + span if not whole_history else "for the " + span
+        return f"On {when}, {who}{what} — and it remained a {_ordinal_phrase(k)} {scope}."
+    return f"On {when}, {who}{what} — the {_ordinal_phrase(k)} {scope}."
+
+
+def claims_for_result(
+    dataset: Dataset,
+    result: DurableTopKResult,
+    limit: int = 10,
+    **kwargs,
+) -> list[str]:
+    """Render up to ``limit`` claims for a query result (best-durability
+    first when durations were computed, newest first otherwise)."""
+    ids = result.ids
+    durations = result.durations or {}
+    if durations:
+        ids = sorted(ids, key=lambda t: -durations.get(t, 0))
+    else:
+        ids = list(reversed(ids))
+    return [
+        claim_for(
+            dataset,
+            t,
+            k=result.query.k,
+            tau=result.query.tau,
+            direction=result.query.direction,
+            duration=durations.get(t),
+            **kwargs,
+        )
+        for t in ids[:limit]
+    ]

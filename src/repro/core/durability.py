@@ -1,0 +1,53 @@
+"""Durability predicates and the maximum-duration binary search.
+
+Section II: once an algorithm reports ``p ∈ DurTop(k, I, tau)``, the
+*maximum* duration for which ``p`` stays in the top-k is found by binary
+search over candidate durations, each step asking one top-k query — the
+procedure is independent of which durable top-k algorithm produced ``p``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_durable", "max_durability", "attach_max_durations"]
+
+
+def is_durable(index, k: int, t: int, tau: int, kind: str = "durability") -> bool:
+    """Whether the record at ``t`` is tau-durable under ``index``'s scores.
+
+    ``index`` is a (possibly counting) top-k building block; the check is a
+    single top-k query on ``[t - tau, t]`` plus a membership test.
+    """
+    try:
+        result = index.topk(k, t - tau, t, kind=kind)  # counting wrapper
+    except TypeError:
+        result = index.topk(k, t - tau, t)
+    return t in result
+
+
+def max_durability(index, k: int, t: int, tau_min: int = 1) -> int:
+    """Largest ``tau`` for which the record at ``t`` is tau-durable.
+
+    Durability is monotone (tau-durable implies tau'-durable for
+    ``tau' <= tau``), so binary search applies. Returns ``index.n`` when
+    the record is durable over the entire available history (the window is
+    clipped at time 0, so every larger duration is equivalent).
+    """
+    if not is_durable(index, k, t, tau_min):
+        raise ValueError(f"record {t} is not even {tau_min}-durable")
+    if is_durable(index, k, t, max(t, tau_min)):
+        return index.n  # durable across all recorded history
+    lo, hi = tau_min, max(t, tau_min)  # invariant: durable at lo, not at hi
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if is_durable(index, k, t, mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def attach_max_durations(result, index) -> None:
+    """Populate ``result.durations`` for every reported durable record."""
+    result.durations = {
+        t: max_durability(index, result.query.k, t, result.query.tau) for t in result.ids
+    }

@@ -1,0 +1,253 @@
+"""High-level engine: build indexes once, answer many durable top-k queries.
+
+The engine owns the per-dataset state (skyline tree, durable k-skyband
+index, the reversed view for look-ahead queries) and turns a
+:class:`~repro.core.query.DurableTopKQuery` plus a scoring function into a
+:class:`~repro.core.query.DurableTopKResult`, dispatching to any of the
+five algorithms.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+from repro.core.algorithms.base import AlgorithmContext, get_algorithm
+from repro.core.durability import attach_max_durations
+from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, QueryStats
+from repro.core.record import Dataset
+from repro.index.topk import CountingTopKIndex, build_topk_index
+
+__all__ = ["DurableTopKEngine", "durable_topk"]
+
+
+class DurableTopKEngine:
+    """Query engine over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to serve.
+    index_method:
+        Top-k building block: ``"score_array"`` (default; any scoring
+        function) or ``"skyline_tree"`` (the paper's Appendix-A index;
+        monotone functions only).
+    skyband_k_max:
+        When set, a :class:`~repro.index.kskyband.DurableSkybandIndex` is
+        built lazily (first S-Band query) for ``k`` up to this bound.
+    """
+
+    #: Number of recently-used preference-bound indexes kept per engine.
+    PREFERENCE_CACHE_SIZE = 8
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        index_method: str = "score_array",
+        skyband_k_max: int | None = 64,
+    ) -> None:
+        if index_method not in ("score_array", "skyline_tree", "auto"):
+            raise ValueError(f"unknown index_method: {index_method!r}")
+        self.dataset = dataset
+        self.index_method = index_method
+        self.skyband_k_max = skyband_k_max
+        self._reverse_engine: DurableTopKEngine | None = None
+        # Interactive exploration re-queries the same preference with
+        # different k/tau/I; cache the preference-bound block (LRU).
+        self._index_cache: "OrderedDict[object, object]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _skyband_index(self):
+        from repro.index.kskyband import DurableSkybandIndex
+
+        if self.skyband_k_max is None:
+            return None
+        cached = self.dataset.get_cached("skyband_index")
+        if cached is None or cached.k_max < self.skyband_k_max:
+            cached = DurableSkybandIndex(self.dataset, k_max=self.skyband_k_max)
+            self.dataset.set_cached("skyband_index", cached)
+        return cached
+
+    def prepare(self, algorithms: list[str] | None = None) -> "DurableTopKEngine":
+        """Eagerly build the offline indexes the given algorithms need.
+
+        The paper treats the skyline tree and the durable k-skyband index
+        as offline structures; benchmarks call this before timing queries.
+        Returns ``self`` for chaining.
+        """
+        names = algorithms or ["s-band"]
+        if self.index_method == "skyline_tree":
+            from repro.index.skyline_tree import SkylineTree
+
+            if not self.dataset.has_cached("skyline_tree"):
+                self.dataset.set_cached("skyline_tree", SkylineTree(self.dataset))
+        if "s-band" in names and self.skyband_k_max is not None:
+            self._skyband_index()
+        return self
+
+    def _bound_index(self, scorer):
+        """Preference-bound top-k block, LRU-cached by scorer identity.
+
+        The cache key is the scorer's preference content when available
+        (``scorer.u``), else the object itself — two equal-weight scorers
+        share an entry; a mutated ``u`` array would not, so preference
+        vectors are treated as immutable (as all shipped scorers do).
+        """
+        u = getattr(scorer, "u", None)
+        key = (type(scorer).__name__, None if u is None else tuple(u))
+        cached = self._index_cache.get(key)
+        if cached is not None:
+            self._index_cache.move_to_end(key)
+            return cached
+        built = build_topk_index(self.dataset, scorer, method=self.index_method)
+        self._index_cache[key] = built
+        if len(self._index_cache) > self.PREFERENCE_CACHE_SIZE:
+            self._index_cache.popitem(last=False)
+        return built
+
+    def _reversed(self) -> "DurableTopKEngine":
+        if self._reverse_engine is None:
+            self._reverse_engine = DurableTopKEngine(
+                self.dataset.reversed(),
+                index_method=self.index_method,
+                skyband_k_max=self.skyband_k_max,
+            )
+        return self._reverse_engine
+
+    # ------------------------------------------------------------------
+    def plan(self, query: DurableTopKQuery, scorer):
+        """Cost-based algorithm choice for ``query`` (see
+        :mod:`repro.core.planner`)."""
+        from repro.core.planner import choose_algorithm
+
+        lo, hi = query.resolve_interval(self.dataset.n)
+        return choose_algorithm(
+            k=query.k,
+            tau=query.tau,
+            interval_length=hi - lo + 1,
+            d=self.dataset.d,
+            scorer_monotone=scorer.is_monotone,
+            scorer_strictly_monotone=getattr(scorer, "is_strictly_monotone", False),
+            has_skyband_index=self.skyband_k_max is not None
+            and query.k <= self.skyband_k_max,
+        )
+
+    def query(
+        self,
+        query: DurableTopKQuery,
+        scorer,
+        algorithm: str = "s-hop",
+        with_durations: bool = False,
+    ) -> DurableTopKResult:
+        """Answer ``query`` under ``scorer`` with the named algorithm.
+
+        ``algorithm="auto"`` lets the cost-based planner choose.
+        ``with_durations`` additionally computes, for every durable record,
+        the maximum duration it stays in the top-k (binary search,
+        Section II), stored in ``result.durations``.
+        """
+        scorer.validate_for(self.dataset.d)
+        if algorithm == "auto":
+            algorithm = self.plan(query, scorer).algorithm
+        if query.direction is Direction.FUTURE:
+            return self._query_future(query, scorer, algorithm, with_durations)
+
+        n = self.dataset.n
+        lo, hi = query.resolve_interval(n)
+        stats = QueryStats()
+        algo = get_algorithm(algorithm)
+        # Offline structure: built outside the timed region, as in the paper.
+        skyband = self._skyband_index() if algo.requires_skyband else None
+
+        start = time.perf_counter()
+        inner = self._bound_index(scorer)
+        index = CountingTopKIndex(inner, stats)
+        ctx = AlgorithmContext(
+            dataset=self.dataset,
+            index=index,
+            scorer=scorer,
+            k=query.k,
+            tau=query.tau,
+            lo=lo,
+            hi=hi,
+            stats=stats,
+            skyband=skyband,
+        )
+        ids = algo.run(ctx)
+        elapsed = time.perf_counter() - start
+
+        result = DurableTopKResult(
+            ids=ids,
+            query=query,
+            algorithm=algorithm,
+            stats=stats,
+            elapsed_seconds=elapsed,
+        )
+        if with_durations:
+            attach_max_durations(result, index)
+        return result
+
+    def _query_future(
+        self, query: DurableTopKQuery, scorer, algorithm: str, with_durations: bool
+    ) -> DurableTopKResult:
+        """Look-ahead query: run look-back over the time-reversed dataset."""
+        n = self.dataset.n
+        engine = self._reversed()
+        mirrored = query.reversed(n)
+        inner = engine.query(mirrored, scorer, algorithm, with_durations)
+        ids = sorted(n - 1 - t for t in inner.ids)
+        durations = (
+            {n - 1 - t: d for t, d in inner.durations.items()} if inner.durations else None
+        )
+        return DurableTopKResult(
+            ids=ids,
+            query=query,
+            algorithm=algorithm,
+            stats=inner.stats,
+            elapsed_seconds=inner.elapsed_seconds,
+            durations=durations,
+        )
+
+    #: The paper's five algorithms (ablation variants are opt-in).
+    PAPER_ALGORITHMS = ("t-base", "t-hop", "s-base", "s-band", "s-hop")
+
+    def compare(
+        self, query: DurableTopKQuery, scorer, algorithms: list[str] | None = None
+    ) -> dict[str, DurableTopKResult]:
+        """Run several algorithms on the same query (they must agree)."""
+        from repro.core.algorithms.base import get_algorithm  # noqa: F401
+
+        names = algorithms or list(self.PAPER_ALGORITHMS)
+        out: dict[str, DurableTopKResult] = {}
+        for name in names:
+            algo = get_algorithm(name)
+            if algo.requires_monotone and not scorer.is_monotone:
+                continue
+            if name == "s-band" and not getattr(scorer, "is_strictly_monotone", False):
+                continue
+            out[name] = self.query(query, scorer, algorithm=name)
+        return out
+
+
+def durable_topk(
+    dataset: Dataset,
+    scorer,
+    k: int,
+    tau: int,
+    interval: tuple[int, int] | None = None,
+    direction: Direction = Direction.PAST,
+    algorithm: str = "s-hop",
+    with_durations: bool = False,
+) -> DurableTopKResult:
+    """One-shot convenience wrapper around :class:`DurableTopKEngine`.
+
+    >>> import numpy as np
+    >>> from repro.core.record import Dataset
+    >>> from repro.scoring import LinearPreference
+    >>> data = Dataset(np.array([[5.0], [1.0], [7.0], [2.0]]))
+    >>> durable_topk(data, LinearPreference([1.0]), k=1, tau=2).ids
+    [0, 2]
+    """
+    engine = DurableTopKEngine(dataset)
+    query = DurableTopKQuery(k=k, tau=tau, interval=interval, direction=direction)
+    return engine.query(query, scorer, algorithm=algorithm, with_durations=with_durations)

@@ -1,0 +1,41 @@
+"""The canonical total order used everywhere in the library.
+
+The paper assumes distinct scores. We instead rank by the lexicographic key
+``(score, arrival time)`` descending — higher score wins, and among equal
+scores the *later* arrival wins. Arrival times are unique, so this is a
+total order, which buys determinism and exact cross-algorithm equality.
+
+For look-back durability this coincides with the paper's semantics: every
+other record in ``[p.t - tau, p.t]`` arrived no later than ``p``, so a tie
+never beats ``p`` — "fewer than k records strictly better in the window" is
+exactly membership of ``p`` in the canonical top-k of its own window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sort_ids_canonical", "beats", "order_key"]
+
+
+def order_key(score: float, t: int) -> tuple[float, int]:
+    """The canonical comparison key of a record (compare descending)."""
+    return (score, t)
+
+
+def beats(score_a: float, t_a: int, score_b: float, t_b: int) -> bool:
+    """True iff record ``a`` outranks record ``b`` (``a ≻ b``)."""
+    return (score_a, t_a) > (score_b, t_b)
+
+
+def sort_ids_canonical(ids: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Sort record ids best-first under the canonical order.
+
+    ``scores`` are the scores *of those ids* (same length as ``ids``).
+    """
+    ids = np.asarray(ids)
+    scores = np.asarray(scores, dtype=float)
+    if len(ids) != len(scores):
+        raise ValueError(f"ids ({len(ids)}) and scores ({len(scores)}) differ in length")
+    order = np.lexsort((ids, scores))[::-1]
+    return ids[order]

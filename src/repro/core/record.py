@@ -1,0 +1,233 @@
+"""Record and dataset model.
+
+The paper assumes a discrete time domain ``T = {1, ..., n}`` with one record
+per instant, ordered by arrival (Section II). :class:`Dataset` normalises
+any instant-stamped input into that shape: records are sorted by their
+original timestamps (ties broken by input order, as the paper breaks ties
+"arbitrarily" for same-game NBA performances) and re-addressed by integer
+arrival index ``t in [0, n)``. Original timestamps are retained for
+presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Record", "Dataset"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single instant-stamped record (an immutable view into a dataset).
+
+    Attributes
+    ----------
+    t:
+        Normalised arrival index in ``[0, n)``; doubles as the record id.
+    values:
+        The record's ``d`` real-valued ranking attributes.
+    timestamp:
+        The original timestamp label, when the dataset kept one.
+    label:
+        Optional human-readable label (e.g. a player name).
+    """
+
+    t: int
+    values: tuple[float, ...]
+    timestamp: Any = None
+    label: str | None = None
+
+    def __getitem__(self, dim: int) -> float:
+        return self.values[dim]
+
+    @property
+    def d(self) -> int:
+        """Number of ranking attributes."""
+        return len(self.values)
+
+
+class Dataset:
+    """An ordered collection of instant-stamped multi-attribute records.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` float array of ranking attributes, already in arrival
+        order. Use :meth:`from_records` for unsorted input.
+    timestamps:
+        Optional sequence of original timestamp labels, same length.
+    labels:
+        Optional sequence of record labels, same length.
+    attribute_names:
+        Optional names of the ``d`` attributes.
+    name:
+        Dataset name used in reports.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        timestamps: Sequence[Any] | None = None,
+        labels: Sequence[str] | None = None,
+        attribute_names: Sequence[str] | None = None,
+        name: str = "dataset",
+    ) -> None:
+        values = np.ascontiguousarray(np.asarray(values, dtype=float))
+        if values.ndim != 2:
+            raise ValueError(f"values must be a 2-D (n, d) array, got shape {values.shape}")
+        if not np.isfinite(values).all():
+            raise ValueError("values must be finite (no NaN/inf)")
+        self._values = values
+        n, d = values.shape
+        if timestamps is not None and len(timestamps) != n:
+            raise ValueError(f"timestamps length {len(timestamps)} != n={n}")
+        if labels is not None and len(labels) != n:
+            raise ValueError(f"labels length {len(labels)} != n={n}")
+        if attribute_names is not None and len(attribute_names) != d:
+            raise ValueError(f"attribute_names length {len(attribute_names)} != d={d}")
+        self.timestamps = list(timestamps) if timestamps is not None else None
+        self.labels = list(labels) if labels is not None else None
+        self.attribute_names = (
+            list(attribute_names) if attribute_names is not None else [f"x{i}" for i in range(d)]
+        )
+        self.name = name
+        self._cache: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        rows: Iterable[tuple[Any, Sequence[float]]],
+        labels: Sequence[str] | None = None,
+        attribute_names: Sequence[str] | None = None,
+        name: str = "dataset",
+    ) -> "Dataset":
+        """Build from ``(timestamp, attribute-values)`` pairs in any order.
+
+        Rows are stably sorted by timestamp, so equal timestamps keep their
+        input order ("ties broken arbitrarily" but deterministically).
+        """
+        rows = list(rows)
+        order = sorted(range(len(rows)), key=lambda i: rows[i][0])
+        values = np.array([rows[i][1] for i in order], dtype=float)
+        if values.ndim == 1:
+            values = values.reshape(len(rows), -1)
+        timestamps = [rows[i][0] for i in order]
+        sorted_labels = [labels[i] for i in order] if labels is not None else None
+        return cls(values, timestamps, sorted_labels, attribute_names, name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The ``(n, d)`` attribute matrix (do not mutate)."""
+        return self._values
+
+    @property
+    def n(self) -> int:
+        """Number of records (also the size of the time domain)."""
+        return len(self._values)
+
+    @property
+    def d(self) -> int:
+        """Number of ranking attributes."""
+        return self._values.shape[1]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def record(self, t: int) -> Record:
+        """The record arriving at normalised time ``t``."""
+        if not 0 <= t < self.n:
+            raise IndexError(f"arrival time {t} out of range [0, {self.n})")
+        return Record(
+            t=t,
+            values=tuple(float(v) for v in self._values[t]),
+            timestamp=self.timestamps[t] if self.timestamps else None,
+            label=self.labels[t] if self.labels else None,
+        )
+
+    def records(self, ts: Iterable[int]) -> list[Record]:
+        """Records for a sequence of arrival times."""
+        return [self.record(t) for t in ts]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def select_attributes(self, dims: Sequence[int] | Sequence[str], name: str | None = None) -> "Dataset":
+        """A dataset restricted to a subset of attributes.
+
+        ``dims`` may be attribute indices or attribute names. Used to build
+        the paper's NBA-X / Network-X dimensionality variants.
+        """
+        if len(dims) == 0:
+            raise ValueError("at least one attribute must be selected")
+        if isinstance(dims[0], str):
+            index_of = {a: i for i, a in enumerate(self.attribute_names)}
+            missing = [a for a in dims if a not in index_of]
+            if missing:
+                raise KeyError(f"unknown attributes: {missing}")
+            idx = [index_of[a] for a in dims]
+        else:
+            idx = list(dims)  # type: ignore[arg-type]
+        return Dataset(
+            self._values[:, idx],
+            timestamps=self.timestamps,
+            labels=self.labels,
+            attribute_names=[self.attribute_names[i] for i in idx],
+            name=name or f"{self.name}-{len(idx)}",
+        )
+
+    def prefix(self, n: int, name: str | None = None) -> "Dataset":
+        """The first ``n`` records (scalability sweeps)."""
+        if not 0 < n <= self.n:
+            raise ValueError(f"prefix size {n} out of range (0, {self.n}]")
+        return Dataset(
+            self._values[:n],
+            timestamps=self.timestamps[:n] if self.timestamps else None,
+            labels=self.labels[:n] if self.labels else None,
+            attribute_names=self.attribute_names,
+            name=name or f"{self.name}-{n}",
+        )
+
+    def reversed(self) -> "Dataset":
+        """Time-reversed view (``t -> n-1-t``), used for look-ahead queries.
+
+        The reversed dataset is cached; reversing twice returns a dataset
+        equal to the original (not the identical object).
+        """
+        cached = self._cache.get("reversed")
+        if cached is None:
+            cached = Dataset(
+                self._values[::-1].copy(),
+                timestamps=list(reversed(self.timestamps)) if self.timestamps else None,
+                labels=list(reversed(self.labels)) if self.labels else None,
+                attribute_names=self.attribute_names,
+                name=f"{self.name}-reversed",
+            )
+            self._cache["reversed"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Index cache (skyline trees, skyband indexes, ...)
+    # ------------------------------------------------------------------
+    def has_cached(self, key: str) -> bool:
+        """Whether a derived index is cached under ``key``."""
+        return key in self._cache
+
+    def get_cached(self, key: str) -> Any:
+        """Fetch a cached derived index (``None`` when absent)."""
+        return self._cache.get(key)
+
+    def set_cached(self, key: str, value: Any) -> None:
+        """Cache a derived index under ``key``."""
+        self._cache[key] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset(name={self.name!r}, n={self.n}, d={self.d})"

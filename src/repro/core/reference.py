@@ -1,0 +1,79 @@
+"""Brute-force oracles used for correctness testing.
+
+These recompute durable top-k answers, window top-k sets and durability
+counts directly from the score array, with no indexing or pruning. Every
+algorithm in :mod:`repro.core.algorithms` is tested for exact equality
+against these on randomised inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "brute_force_topk",
+    "brute_force_durable_topk",
+    "strictly_better_counts",
+    "brute_force_inclusive_durable_topk",
+]
+
+
+def brute_force_topk(scores: np.ndarray, k: int, lo: int, hi: int) -> list[int]:
+    """Canonical top-k ids in ``[lo, hi]`` by full sort.
+
+    Ranking follows the canonical total order: score descending, ties going
+    to the later arrival.
+    """
+    scores = np.asarray(scores, dtype=float)
+    lo = max(lo, 0)
+    hi = min(hi, len(scores) - 1)
+    if hi < lo or k <= 0:
+        return []
+    ids = np.arange(lo, hi + 1)
+    window = scores[lo : hi + 1]
+    order = np.lexsort((ids, window))[::-1]
+    return [int(ids[i]) for i in order[:k]]
+
+
+def strictly_better_counts(scores: np.ndarray, tau: int, lo: int, hi: int) -> np.ndarray:
+    """For each ``t in [lo, hi]``: how many records in ``[t - tau, t]``
+    have a strictly larger score than the record at ``t``.
+
+    A record is tau-durable iff its count is ``< k``.
+    """
+    scores = np.asarray(scores, dtype=float)
+    out = np.empty(hi - lo + 1, dtype=np.int64)
+    for i, t in enumerate(range(lo, hi + 1)):
+        w_lo = max(0, t - tau)
+        out[i] = int(np.count_nonzero(scores[w_lo : t + 1] > scores[t]))
+    return out
+
+
+def brute_force_durable_topk(scores: np.ndarray, k: int, lo: int, hi: int, tau: int) -> list[int]:
+    """All tau-durable record ids arriving in ``[lo, hi]`` (ascending).
+
+    Uses the window-count definition directly: ``p`` is durable iff fewer
+    than ``k`` records in ``[p.t - tau, p.t]`` score strictly higher. Under
+    the canonical total order this equals membership of ``p`` in the top-k
+    of its own look-back window (ties cannot beat the newest record).
+    """
+    scores = np.asarray(scores, dtype=float)
+    lo = max(lo, 0)
+    hi = min(hi, len(scores) - 1)
+    if hi < lo:
+        return []
+    counts = strictly_better_counts(scores, tau, lo, hi)
+    return [lo + int(i) for i in np.nonzero(counts < k)[0]]
+
+
+def brute_force_inclusive_durable_topk(
+    scores: np.ndarray, k: int, lo: int, hi: int, tau: int
+) -> list[int]:
+    """The paper's pi<=k-inclusive durable set.
+
+    ``p`` qualifies when at most ``k - 1`` records in its window score
+    *strictly* higher — for look-back windows this coincides with
+    :func:`brute_force_durable_topk`; it is kept as a separate entry point
+    to document (and test) that equivalence.
+    """
+    return brute_force_durable_topk(scores, k, lo, hi, tau)

@@ -1,0 +1,218 @@
+"""Online durable top-k monitoring over an append-only stream.
+
+The paper frames durable top-k as the *offline* version of continuous
+top-k monitoring over sliding windows (Mouratidis et al. [11], the basis
+of T-Base). This module provides the online counterpart:
+
+* **Look-back durability is decidable on arrival** — the window
+  ``[t - tau, t]`` is complete the moment the record at ``t`` arrives, so
+  :class:`StreamingDurableMonitor` reports each arriving record's
+  durability immediately.
+* **Look-ahead durability resolves later** — a record is
+  ``tau``-look-ahead-durable only once ``tau`` further records arrive
+  without ``k`` of them beating it. :meth:`append` returns the earlier
+  records whose fate the new arrival decided.
+
+Both directions use the Skyband Maintenance idea the paper credits to
+[11] (footnote 3): keep a window record only while fewer than ``k``
+*later* records beat it — once ``k`` newer-and-better records exist, the
+record can neither re-enter a top-k nor change any future durability
+decision (those same ``k`` records outrank anything it would outrank), so
+it is evicted. Every counter is incremented at most ``k`` times before
+eviction, giving amortised ``O(k + log w)`` work per arrival (``w`` =
+window size).
+
+Tie handling mirrors the offline engine's canonical order: in the
+look-back direction a new arrival beats earlier equal scores; in the
+look-ahead direction it does not (the earlier record "stood until
+*strictly* beaten"), matching the offline FUTURE-direction semantics
+obtained by time reversal.
+
+The monitor's outputs are tested for exact equality against the offline
+oracles.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["StreamingDurableMonitor", "LookaheadResolution"]
+
+
+@dataclass(frozen=True)
+class LookaheadResolution:
+    """The fate of one earlier record, decided by a later arrival."""
+
+    t: int
+    durable: bool
+    #: Arrival time that decided it: the record completing the window for
+    #: survivors, the k-th defeating record for casualties.
+    decided_at: int
+
+
+class _Skyband:
+    """SMA-style k-skyband over (arrival, score) pairs.
+
+    Entries are kept in a score-sorted list with a beaten-counter each;
+    ``observe`` registers a new arrival's blows, ``expire_before`` retires
+    entries that slid out of the window.
+    """
+
+    def __init__(self, k: int, tie_beats: bool) -> None:
+        self.k = k
+        self.tie_beats = tie_beats
+        self._keys: list[tuple[float, int]] = []  # ascending (score, t)
+        self._live: dict[int, list] = {}  # t -> [beaten_count, score]
+        self._times: deque[int] = deque()  # arrival order, lazily pruned
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def contains(self, t: int) -> bool:
+        return t in self._live
+
+    def strictly_better(self, score: float) -> int:
+        """How many live entries have a strictly higher score."""
+        pos = bisect.bisect_right(self._keys, (score, float("inf")))
+        return len(self._keys) - pos
+
+    def _beaten_prefix(self, score: float) -> int:
+        """Length of the key prefix the newcomer beats."""
+        if self.tie_beats:
+            return bisect.bisect_right(self._keys, (score, float("inf")))
+        return bisect.bisect_left(self._keys, (score, float("-inf")))
+
+    def observe(self, t: int, score: float) -> list[int]:
+        """Insert arrival ``(t, score)``; return entries it evicted."""
+        beaten_pos = self._beaten_prefix(score)
+        evicted: list[int] = []
+        keep: list[tuple[float, int]] = []
+        for key in self._keys[:beaten_pos]:
+            entry_t = key[1]
+            entry = self._live[entry_t]
+            entry[0] += 1
+            if entry[0] >= self.k:
+                del self._live[entry_t]
+                evicted.append(entry_t)
+            else:
+                keep.append(key)
+        if len(keep) != beaten_pos:
+            self._keys[:beaten_pos] = keep
+        bisect.insort(self._keys, (score, t))
+        self._live[t] = [0, score]
+        self._times.append(t)
+        return evicted
+
+    def remove(self, t: int) -> None:
+        """Retire one entry by arrival time (no-op when already gone)."""
+        entry = self._live.pop(t, None)
+        if entry is None:
+            return
+        pos = bisect.bisect_left(self._keys, (entry[1], t))
+        del self._keys[pos]
+
+    def expire_before(self, cutoff: int) -> None:
+        """Retire entries with arrival time ``< cutoff`` (amortised O(1))."""
+        while self._times and self._times[0] < cutoff:
+            self.remove(self._times.popleft())
+
+    def topk_ids(self) -> list[int]:
+        """The top-k live arrival times, best first (canonical order)."""
+        best = self._keys[-self.k :][::-1] if self.k <= len(self._keys) else self._keys[::-1]
+        return [t for _, t in best]
+
+
+class StreamingDurableMonitor:
+    """Maintain durable top-k status for an append-only score stream.
+
+    Parameters
+    ----------
+    k, tau:
+        Fixed parameters of the monitored durable top-k query.
+    track_lookahead:
+        Also resolve look-ahead (window-after-arrival) durability.
+
+    Example
+    -------
+    >>> monitor = StreamingDurableMonitor(k=1, tau=2)
+    >>> [monitor.append(s)[0] for s in (5.0, 3.0, 6.0, 4.0)]
+    [True, False, True, False]
+    """
+
+    def __init__(self, k: int, tau: int, track_lookahead: bool = False) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        self.k = k
+        self.tau = tau
+        self.track_lookahead = track_lookahead
+        self.n = 0
+        self._band = _Skyband(k, tie_beats=True)
+        self._durable: list[int] = []
+        # Look-ahead: candidates double as blow-dealers; strict ties only.
+        self._ahead = _Skyband(k, tie_beats=False)
+        self._ahead_queue: deque[int] = deque()
+        self._ahead_dead: set[int] = set()
+
+    @property
+    def durable_ids(self) -> list[int]:
+        """All look-back durable arrival times seen so far."""
+        return list(self._durable)
+
+    def append(self, score: float) -> tuple[bool, list[LookaheadResolution]]:
+        """Process the next arrival.
+
+        Returns ``(lookback_durable, lookahead_resolutions)``; the list is
+        empty unless ``track_lookahead`` is on.
+        """
+        t = self.n
+        self.n += 1
+        score = float(score)
+
+        self._band.expire_before(t - self.tau)
+        durable = self._band.strictly_better(score) < self.k
+        if durable:
+            self._durable.append(t)
+        self._band.observe(t, score)
+
+        resolutions: list[LookaheadResolution] = []
+        if self.track_lookahead:
+            resolutions = self._advance_lookahead(t, score)
+        return durable, resolutions
+
+    def _advance_lookahead(self, t: int, score: float) -> list[LookaheadResolution]:
+        out: list[LookaheadResolution] = []
+        # The new arrival may deal the k-th blow to pending candidates.
+        for dead_t in self._ahead.observe(t, score):
+            self._ahead_dead.add(dead_t)
+            out.append(LookaheadResolution(dead_t, durable=False, decided_at=t))
+        # Candidates whose full window has now passed survive.
+        while self._ahead_queue and t - self._ahead_queue[0] >= self.tau:
+            cand = self._ahead_queue.popleft()
+            if cand in self._ahead_dead:
+                self._ahead_dead.discard(cand)
+                continue
+            out.append(LookaheadResolution(cand, durable=True, decided_at=t))
+            self._ahead.remove(cand)  # settled; stop tracking
+        self._ahead_queue.append(t)
+        return out
+
+    def finish(self) -> list[LookaheadResolution]:
+        """End of stream: still-pending records have clipped windows and
+        count as durable, matching the offline engine's edge semantics."""
+        out: list[LookaheadResolution] = []
+        while self._ahead_queue:
+            cand = self._ahead_queue.popleft()
+            if cand in self._ahead_dead:
+                self._ahead_dead.discard(cand)
+                continue
+            out.append(LookaheadResolution(cand, durable=True, decided_at=self.n - 1))
+            self._ahead.remove(cand)
+        return out
+
+    def window_topk(self) -> list[int]:
+        """Arrival times of the current look-back window's top-k."""
+        return self._band.topk_ids()

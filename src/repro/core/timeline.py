@@ -1,0 +1,99 @@
+"""Bridging real timestamps and the normalised arrival-index domain.
+
+The algorithms operate on dense arrival indices ``0..n-1`` (Section II's
+discrete time domain). Real applications speak calendar time: "a 5-year
+window", "between 2002 and 2010". :class:`Timeline` converts both ways
+for datasets whose original timestamps are numeric or datetime-like.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+__all__ = ["Timeline"]
+
+
+class Timeline:
+    """Timestamp <-> arrival-index conversion for one dataset.
+
+    Timestamps must be non-decreasing (the dataset normalisation
+    guarantees this) and mutually comparable (all numbers, all datetimes,
+    all strings with a sortable format, ...).
+    """
+
+    def __init__(self, timestamps: Sequence[Any]) -> None:
+        if len(timestamps) == 0:
+            raise ValueError("timestamps must be non-empty")
+        previous = timestamps[0]
+        for ts in timestamps[1:]:
+            if ts < previous:
+                raise ValueError("timestamps must be non-decreasing")
+            previous = ts
+        self._ts = list(timestamps)
+
+    @classmethod
+    def for_dataset(cls, dataset) -> "Timeline":
+        """Build from a dataset's retained original timestamps."""
+        if dataset.timestamps is None:
+            raise ValueError(f"dataset {dataset.name!r} kept no original timestamps")
+        return cls(dataset.timestamps)
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    # ------------------------------------------------------------------
+    def timestamp_of(self, t: int) -> Any:
+        """Original timestamp of arrival index ``t``."""
+        return self._ts[t]
+
+    def first_at_or_after(self, timestamp: Any) -> int | None:
+        """Smallest arrival index with timestamp >= the given one."""
+        pos = bisect.bisect_left(self._ts, timestamp)
+        return pos if pos < len(self._ts) else None
+
+    def last_at_or_before(self, timestamp: Any) -> int | None:
+        """Largest arrival index with timestamp <= the given one."""
+        pos = bisect.bisect_right(self._ts, timestamp) - 1
+        return pos if pos >= 0 else None
+
+    def interval_for(self, start: Any, end: Any) -> tuple[int, int]:
+        """The arrival-index interval of records in ``[start, end]``.
+
+        Raises when the range holds no records.
+        """
+        if end < start:
+            raise ValueError(f"end {end!r} before start {start!r}")
+        lo = self.first_at_or_after(start)
+        hi = self.last_at_or_before(end)
+        if lo is None or hi is None or hi < lo:
+            raise ValueError(f"no records with timestamps in [{start!r}, {end!r}]")
+        return lo, hi
+
+    def tau_for_span(self, span, at: int | None = None) -> int:
+        """Number of arrival slots covering a timestamp ``span``.
+
+        ``span`` is anything subtractable from timestamps (a number for
+        numeric timestamps, a ``timedelta`` for datetimes). The count is
+        taken looking back from arrival ``at`` (default: the last record),
+        i.e. how many records arrived within ``span`` before it — the
+        natural ``tau`` for "a five-year window ending here".
+        """
+        at = len(self._ts) - 1 if at is None else at
+        anchor = self._ts[at]
+        start = anchor - span
+        lo = bisect.bisect_left(self._ts, start, 0, at + 1)
+        return max(1, at - lo)
+
+    def median_tau_for_span(self, span, samples: int = 32) -> int:
+        """A span->tau conversion robust to uneven arrival rates.
+
+        Samples :meth:`tau_for_span` at evenly spaced anchors and takes
+        the median, so a burst near the end does not skew the window.
+        """
+        n = len(self._ts)
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        anchors = [min(n - 1, max(0, (i * (n - 1)) // max(1, samples - 1))) for i in range(samples)]
+        taus = sorted(self.tau_for_span(span, at=a) for a in anchors)
+        return taus[len(taus) // 2]

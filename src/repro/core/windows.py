@@ -1,0 +1,90 @@
+"""Tumbling- and sliding-window top-k comparators (Example I.1, Figure 1).
+
+These are the two alternative query semantics the paper contrasts with
+durable top-k. They are provided for the case-study example and for the
+sliding-window post-processing baseline mentioned in the introduction
+(filtering sliding-window results down to durable ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reference import brute_force_topk
+
+__all__ = [
+    "tumbling_window_topk",
+    "sliding_window_topk",
+    "sliding_window_union",
+    "durable_via_sliding_postprocess",
+]
+
+
+def tumbling_window_topk(
+    scores: np.ndarray, k: int, tau: int, offset: int = 0
+) -> list[tuple[tuple[int, int], list[int]]]:
+    """Top-k per non-overlapping ``tau``-slot window.
+
+    Windows are ``[offset + i*tau, offset + (i+1)*tau - 1]``; ``offset``
+    exposes the placement sensitivity the paper criticises (Figure 1.(3)).
+    Returns ``(window, top-k ids)`` pairs.
+    """
+    scores = np.asarray(scores, dtype=float)
+    n = len(scores)
+    if offset < 0 or offset >= max(tau, 1):
+        raise ValueError(f"offset must lie in [0, tau), got {offset}")
+    out: list[tuple[tuple[int, int], list[int]]] = []
+    start = 0
+    if offset:
+        out.append(((0, offset - 1), brute_force_topk(scores, k, 0, offset - 1)))
+        start = offset
+    for lo in range(start, n, tau):
+        hi = min(lo + tau - 1, n - 1)
+        out.append(((lo, hi), brute_force_topk(scores, k, lo, hi)))
+    return out
+
+
+def sliding_window_topk(
+    scores: np.ndarray, k: int, tau: int
+) -> list[tuple[tuple[int, int], list[int]]]:
+    """Top-k for every position of a sliding ``tau + 1``-slot window.
+
+    Window ``i`` is ``[i, i + tau]`` clipped to the domain; all positions
+    are reported (the union of results is what the sliding-window query
+    returns, Figure 1.(4)).
+    """
+    scores = np.asarray(scores, dtype=float)
+    n = len(scores)
+    out: list[tuple[tuple[int, int], list[int]]] = []
+    for lo in range(0, max(n - tau, 1)):
+        hi = min(lo + tau, n - 1)
+        out.append(((lo, hi), brute_force_topk(scores, k, lo, hi)))
+    return out
+
+
+def sliding_window_union(scores: np.ndarray, k: int, tau: int) -> list[int]:
+    """Union of top-k ids over all sliding-window positions (ascending)."""
+    seen: set[int] = set()
+    for _, ids in sliding_window_topk(scores, k, tau):
+        seen.update(ids)
+    return sorted(seen)
+
+
+def durable_via_sliding_postprocess(scores: np.ndarray, k: int, lo: int, hi: int, tau: int) -> list[int]:
+    """Durable top-k obtained by filtering sliding-window results.
+
+    This is the post-processing baseline the introduction dismisses as
+    prohibitively slow: enumerate every window position, then keep a record
+    only when it is in the top-k of the *one* window ending at its own
+    arrival time. Provided for cross-checking, not for performance.
+    """
+    scores = np.asarray(scores, dtype=float)
+    n = len(scores)
+    lo = max(lo, 0)
+    hi = min(hi, n - 1)
+    out = []
+    for t in range(lo, hi + 1):
+        ids = brute_force_topk(scores, k, t - tau, t)
+        if t in ids:
+            out.append(t)
+    return out

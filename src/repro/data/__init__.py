@@ -1,0 +1,37 @@
+"""Dataset generators reproducing the shapes of the paper's workloads.
+
+The paper evaluates on two real datasets (NBA box scores, KDD Cup 1999
+network connections) and synthetic 2-D data (independent and
+anti-correlated). The real datasets are not redistributable, so this
+package generates synthetic equivalents that preserve the properties the
+algorithms are sensitive to: score-distribution tails, temporal trends,
+attribute correlation structure and dimensionality. See DESIGN.md
+("Substitutions") for the full rationale.
+"""
+
+from repro.data.loader import load_csv
+from repro.data.nba import NBA_ATTRIBUTES, NBA_VARIANTS, generate_nba, nba_variant
+from repro.data.network import NETWORK_ATTRIBUTES, generate_network, network_variant
+from repro.data.synthetic import (
+    anticorrelated,
+    correlated,
+    independent_uniform,
+    random_permutation_scores,
+    synthetic_dataset,
+)
+
+__all__ = [
+    "load_csv",
+    "independent_uniform",
+    "anticorrelated",
+    "correlated",
+    "synthetic_dataset",
+    "random_permutation_scores",
+    "generate_nba",
+    "nba_variant",
+    "NBA_ATTRIBUTES",
+    "NBA_VARIANTS",
+    "generate_network",
+    "network_variant",
+    "NETWORK_ATTRIBUTES",
+]

@@ -1,0 +1,20 @@
+"""Experiment harness regenerating every table and figure of Section VI."""
+
+from repro.experiments.harness import (
+    AlgorithmRow,
+    SweepResult,
+    default_parameters,
+    run_algorithm_suite,
+    run_sweep,
+)
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "AlgorithmRow",
+    "SweepResult",
+    "default_parameters",
+    "run_algorithm_suite",
+    "run_sweep",
+    "format_table",
+    "format_series",
+]

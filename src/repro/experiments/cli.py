@@ -1,0 +1,134 @@
+"""Command-line entry point for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig8 --workload nba2
+    python -m repro run all --out results/
+
+Each experiment prints the same table/series its benchmark counterpart
+saves, so results can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig8(args):
+    from repro.experiments.figures import figure8_vary_tau, nba2_dataset, network2_dataset
+
+    data = nba2_dataset(args.n) if args.workload == "nba2" else network2_dataset(args.n)
+    return figure8_vary_tau(data, n_preferences=args.preferences)
+
+
+def _fig9(args):
+    from repro.experiments.figures import figure9_vary_k, nba2_dataset, network2_dataset
+
+    data = nba2_dataset(args.n) if args.workload == "nba2" else network2_dataset(args.n)
+    return figure9_vary_k(data, n_preferences=args.preferences)
+
+
+def _fig10(args):
+    from repro.experiments.figures import figure10_vary_interval, nba2_dataset, network2_dataset
+
+    data = nba2_dataset(args.n) if args.workload == "nba2" else network2_dataset(args.n)
+    return figure10_vary_interval(data, n_preferences=args.preferences)
+
+
+def _fig11(args):
+    from repro.experiments.figures import figure11_vary_dimension
+
+    return figure11_vary_dimension(n=min(args.n, 12_000), n_preferences=args.preferences)
+
+
+def _fig12(args):
+    from repro.experiments.figures import figure12_scalability
+
+    kind = "anti" if args.workload == "anti" else "ind"
+    sizes = [args.n // 2, args.n, args.n * 2]
+    return figure12_scalability(kind, sizes=sizes, n_preferences=args.preferences)
+
+
+def _fig13(args):
+    from repro.experiments.figures import figure13_runtime_distribution
+
+    return figure13_runtime_distribution(n=min(args.n, 16_000), n_preferences=args.preferences)
+
+
+def _table4(args):
+    from repro.experiments.tables import table4_dbms_vary_tau
+
+    return table4_dbms_vary_tau(n=min(args.n * 2, 40_000))
+
+
+def _table5(args):
+    from repro.experiments.tables import table5_dbms_vary_interval
+
+    return table5_dbms_vary_interval(n=min(args.n * 2, 40_000))
+
+
+def _table6(args):
+    from repro.experiments.tables import table6_dbms_datasets
+
+    return table6_dbms_datasets()
+
+
+#: Experiment id -> (runner, description).
+EXPERIMENTS = {
+    "fig8": (_fig8, "vary tau, all five algorithms"),
+    "fig9": (_fig9, "vary k, all five algorithms"),
+    "fig10": (_fig10, "vary |I|, all five algorithms"),
+    "fig11": (_fig11, "vary dimensionality on Network-X"),
+    "fig12": (_fig12, "scalability on Syn (use --workload anti for ANTI)"),
+    "fig13": (_fig13, "runtime distribution over NBA 5-d subsets"),
+    "table4": (_table4, "MiniDB backend, vary tau"),
+    "table5": (_table5, "MiniDB backend, vary |I|"),
+    "table6": (_table6, "MiniDB backend, dataset sizes"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the durable top-k paper's figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--workload", default="nba2", choices=["nba2", "network2", "ind", "anti"])
+    run.add_argument("--n", type=int, default=20_000, help="dataset size")
+    run.add_argument("--preferences", type=int, default=3, help="preference vectors per point")
+    run.add_argument("--out", type=Path, default=None, help="directory for report files")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, _ = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = runner(args)
+        elapsed = time.perf_counter() - start
+        print(result.report)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{result.name}.txt").write_text(result.report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""Measurement harness shared by every figure/table benchmark.
+
+Section VI runs each query configuration with 100 randomly generated
+preference vectors and reports mean and standard deviation of query time
+and of the number of top-k queries. This harness does the same (the vector
+count is configurable; benchmarks default to fewer for wall-time reasons)
+and additionally cross-checks that all algorithms return identical answers
+— every benchmark run is therefore also an integration test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import mean, stdev
+
+import numpy as np
+
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.core.record import Dataset
+from repro.scoring import LinearPreference, random_preference
+
+__all__ = [
+    "default_parameters",
+    "AlgorithmRow",
+    "SweepResult",
+    "run_algorithm_suite",
+    "run_sweep",
+]
+
+#: All five algorithms, slowest first (the order the paper's legends use).
+ALL_ALGORITHMS = ["t-base", "s-base", "t-hop", "s-band", "s-hop"]
+
+
+def default_parameters(n: int) -> dict:
+    """The paper's default query setting (Table III), scaled to ``n``.
+
+    Defaults: ``k = 10``, ``tau = 10%`` of the time domain, ``|I| = 50%``
+    anchored at the most recent timestamp.
+    """
+    tau = max(1, n // 10)
+    interval_length = max(1, n // 2)
+    return {
+        "k": 10,
+        "tau": tau,
+        "interval": (n - interval_length, n - 1),
+    }
+
+
+@dataclass
+class AlgorithmRow:
+    """Aggregated measurements of one algorithm at one parameter setting."""
+
+    algorithm: str
+    mean_ms: float
+    std_ms: float
+    mean_topk_queries: float
+    mean_durability_queries: float
+    mean_candidate_queries: float
+    mean_candidate_set: float
+    mean_answer_size: float
+    runs: int
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "mean_ms": round(self.mean_ms, 3),
+            "std_ms": round(self.std_ms, 3),
+            "topk_queries": round(self.mean_topk_queries, 1),
+            "durability_queries": round(self.mean_durability_queries, 1),
+            "candidate_queries": round(self.mean_candidate_queries, 1),
+            "candidate_set": round(self.mean_candidate_set, 1),
+            "answer_size": round(self.mean_answer_size, 1),
+        }
+
+
+@dataclass
+class SweepResult:
+    """One parameter sweep: ``rows[param_value][algorithm] -> AlgorithmRow``."""
+
+    parameter: str
+    dataset: str
+    rows: dict = field(default_factory=dict)
+
+    def series(self, metric: str = "mean_ms") -> dict[str, list[float]]:
+        """Per-algorithm metric series across the sweep (plot-ready)."""
+        out: dict[str, list[float]] = {}
+        for value in self.rows:
+            for algo, row in self.rows[value].items():
+                out.setdefault(algo, []).append(getattr(row, metric))
+        return out
+
+    def parameter_values(self) -> list:
+        return list(self.rows)
+
+
+def run_algorithm_suite(
+    dataset: Dataset,
+    algorithms: list[str] | None = None,
+    k: int = 10,
+    tau: int | None = None,
+    interval: tuple[int, int] | None = None,
+    n_preferences: int = 10,
+    seed: int = 0,
+    engine: DurableTopKEngine | None = None,
+    check_agreement: bool = True,
+) -> dict[str, AlgorithmRow]:
+    """Measure every requested algorithm on one query configuration.
+
+    Each preference vector produces one timed run per algorithm; rows
+    aggregate over vectors. With ``check_agreement`` (default) a mismatch
+    between any two algorithms' answers raises immediately.
+    """
+    algorithms = algorithms or ALL_ALGORITHMS
+    params = default_parameters(dataset.n)
+    tau = tau if tau is not None else params["tau"]
+    interval = interval if interval is not None else params["interval"]
+    engine = engine or DurableTopKEngine(dataset, skyband_k_max=_skyband_k(algorithms, k))
+    engine.prepare(algorithms)
+    query = DurableTopKQuery(k=k, tau=tau, interval=interval)
+    rng = np.random.default_rng(seed)
+
+    samples: dict[str, dict[str, list[float]]] = {
+        a: {"ms": [], "topk": [], "dur": [], "cand": [], "cset": [], "answer": []}
+        for a in algorithms
+    }
+    for _ in range(n_preferences):
+        scorer = LinearPreference(random_preference(rng, dataset.d))
+        reference_ids: list[int] | None = None
+        for name in algorithms:
+            start = time.perf_counter()
+            result = engine.query(query, scorer, algorithm=name)
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            if check_agreement:
+                if reference_ids is None:
+                    reference_ids = result.ids
+                elif result.ids != reference_ids:
+                    raise AssertionError(
+                        f"algorithm disagreement on {dataset.name}: {name} returned "
+                        f"{len(result.ids)} ids, expected {len(reference_ids)}"
+                    )
+            bucket = samples[name]
+            bucket["ms"].append(elapsed_ms)
+            bucket["topk"].append(result.stats.topk_queries)
+            bucket["dur"].append(result.stats.durability_topk_queries)
+            bucket["cand"].append(result.stats.candidate_topk_queries)
+            bucket["cset"].append(result.stats.candidate_set_size)
+            bucket["answer"].append(len(result.ids))
+
+    rows: dict[str, AlgorithmRow] = {}
+    for name, bucket in samples.items():
+        rows[name] = AlgorithmRow(
+            algorithm=name,
+            mean_ms=mean(bucket["ms"]),
+            std_ms=stdev(bucket["ms"]) if len(bucket["ms"]) > 1 else 0.0,
+            mean_topk_queries=mean(bucket["topk"]),
+            mean_durability_queries=mean(bucket["dur"]),
+            mean_candidate_queries=mean(bucket["cand"]),
+            mean_candidate_set=mean(bucket["cset"]),
+            mean_answer_size=mean(bucket["answer"]),
+            runs=n_preferences,
+        )
+    return rows
+
+
+def run_sweep(
+    dataset: Dataset,
+    parameter: str,
+    values: list,
+    algorithms: list[str] | None = None,
+    n_preferences: int = 5,
+    seed: int = 0,
+    base_k: int = 10,
+    base_tau_fraction: float = 0.10,
+    base_interval_fraction: float = 0.50,
+) -> SweepResult:
+    """Sweep one query parameter, fixing the others at paper defaults.
+
+    ``parameter`` is one of ``"tau_fraction"``, ``"k"``,
+    ``"interval_fraction"``. Fractions are of the dataset size, as in
+    Table III.
+    """
+    if parameter not in ("tau_fraction", "k", "interval_fraction"):
+        raise ValueError(f"unknown sweep parameter {parameter!r}")
+    algorithms = algorithms or ALL_ALGORITHMS
+    n = dataset.n
+    engine = DurableTopKEngine(
+        dataset,
+        skyband_k_max=_skyband_k(algorithms, max(values) if parameter == "k" else base_k),
+    )
+    sweep = SweepResult(parameter=parameter, dataset=dataset.name)
+    for value in values:
+        k = base_k
+        tau = max(1, int(n * base_tau_fraction))
+        interval_length = max(1, int(n * base_interval_fraction))
+        if parameter == "k":
+            k = int(value)
+        elif parameter == "tau_fraction":
+            tau = max(1, int(n * value))
+        else:
+            interval_length = max(1, int(n * value))
+        interval = (n - interval_length, n - 1)
+        sweep.rows[value] = run_algorithm_suite(
+            dataset,
+            algorithms=algorithms,
+            k=k,
+            tau=tau,
+            interval=interval,
+            n_preferences=n_preferences,
+            seed=seed,
+            engine=engine,
+        )
+    return sweep
+
+
+def _skyband_k(algorithms: list[str], k: int) -> int | None:
+    """S-Band needs the offline index; skip building it otherwise.
+
+    The index rounds up to the next power of two internally, giving the
+    paper's ``k <= k_bar <= 2k`` level selection.
+    """
+    return max(k, 2) if "s-band" in algorithms else None

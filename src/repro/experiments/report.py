@@ -1,0 +1,63 @@
+"""Plain-text report formatting for experiment output.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and diff-friendly (EXPERIMENTS.md embeds
+them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_sweep"]
+
+
+def format_table(rows: Iterable[Mapping], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """ASCII table from dict rows.
+
+    >>> print(format_table([{"a": 1, "b": 2}], ["a", "b"]))
+    a | b
+    --+--
+    1 | 2
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    table = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(columns[i]), *(len(row[i]) for row in table)) for i in range(len(columns))]
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in table)
+    out = "\n".join([header, rule, body])
+    return f"{title}\n{out}" if title else out
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """One row per x value, one column per series (a figure panel as text)."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row = {x_label: x}
+        for name, values in series.items():
+            row[name] = value_format.format(values[i]) if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, [x_label] + list(series.keys()), title=title)
+
+
+def format_sweep(sweep, metric: str = "mean_ms", value_format: str = "{:.2f}", title: str = "") -> str:
+    """Render a :class:`~repro.experiments.harness.SweepResult` panel."""
+    series = sweep.series(metric)
+    label = f"{sweep.parameter}"
+    return format_series(
+        label,
+        sweep.parameter_values(),
+        series,
+        value_format=value_format,
+        title=title or f"{sweep.dataset}: {metric} vs {sweep.parameter}",
+    )

@@ -1,0 +1,78 @@
+"""Persisting query results and experiment rows as JSON.
+
+Experiment record-keeping: results can be saved with full provenance
+(query parameters, algorithm, counters, library version) and reloaded for
+later comparison — the harness uses this to diff runs across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, QueryStats
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+
+def result_to_dict(result: DurableTopKResult) -> dict[str, Any]:
+    """A JSON-serialisable representation with full provenance."""
+    import repro
+
+    return {
+        "library_version": repro.__version__,
+        "algorithm": result.algorithm,
+        "query": {
+            "k": result.query.k,
+            "tau": result.query.tau,
+            "interval": list(result.query.interval) if result.query.interval else None,
+            "direction": result.query.direction.value,
+        },
+        "ids": list(result.ids),
+        "stats": result.stats.as_dict(),
+        "elapsed_seconds": result.elapsed_seconds,
+        "durations": (
+            {str(t): d for t, d in result.durations.items()} if result.durations else None
+        ),
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> DurableTopKResult:
+    """Inverse of :func:`result_to_dict` (provenance fields are checked
+    for presence, not equality)."""
+    for field in ("algorithm", "query", "ids", "stats"):
+        if field not in payload:
+            raise ValueError(f"result payload missing field {field!r}")
+    query_payload = payload["query"]
+    query = DurableTopKQuery(
+        k=query_payload["k"],
+        tau=query_payload["tau"],
+        interval=tuple(query_payload["interval"]) if query_payload.get("interval") else None,
+        direction=Direction(query_payload.get("direction", "past")),
+    )
+    stats = QueryStats()
+    for key, value in payload["stats"].items():
+        if hasattr(stats, key) and key != "topk_queries":
+            setattr(stats, key, value)
+    durations = payload.get("durations")
+    return DurableTopKResult(
+        ids=list(payload["ids"]),
+        query=query,
+        algorithm=payload["algorithm"],
+        stats=stats,
+        elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+        durations={int(t): d for t, d in durations.items()} if durations else None,
+    )
+
+
+def save_result(result: DurableTopKResult, path: str | Path) -> Path:
+    """Write a result (with provenance) to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def load_result(path: str | Path) -> DurableTopKResult:
+    """Load a result previously written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

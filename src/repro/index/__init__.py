@@ -1,0 +1,51 @@
+"""Index substrates for durable top-k query processing.
+
+This subpackage contains every data structure the paper's algorithms rely
+on:
+
+* :mod:`repro.index.fenwick` — binary indexed tree for prefix counting
+  (backs the blocking-interval mechanism of the score-prioritized
+  algorithms).
+* :mod:`repro.index.segment_tree` — static max segment tree with argmax
+  descent.
+* :mod:`repro.index.range_topk` — range top-k over a score array via the
+  heap-of-subranges technique (``O(k log n)`` per query).
+* :mod:`repro.index.skyline` — skyline and k-skyband computation.
+* :mod:`repro.index.skyline_tree` — the paper's Appendix-A index: a balanced
+  tree over the time domain whose nodes store skylines, queried with a
+  branch-and-bound priority queue.
+* :mod:`repro.index.kskyband` — the durable k-skyband duration index used by
+  the S-Band algorithm (Section IV-B, Figure 4).
+* :mod:`repro.index.priority_search_tree` — 3-sided range reporting used to
+  retrieve S-Band candidate sets.
+* :mod:`repro.index.topk` — the ``TopKIndex`` protocol shared by the two
+  top-k building blocks, plus a counting wrapper used by the experiment
+  harness.
+"""
+
+from repro.index.block_topk import BlockTopKIndex
+from repro.index.fenwick import FenwickTree
+from repro.index.priority_search_tree import PrioritySearchTree
+from repro.index.range_topk import ScoreArrayTopKIndex
+from repro.index.segment_tree import MaxSegmentTree
+from repro.index.skyline import kskyband_indices, pareto_dominates, skyline_indices
+from repro.index.skyline_tree import SkylineTree, SkylineTreeTopKIndex
+from repro.index.kskyband import DurableSkybandIndex
+from repro.index.topk import CountingTopKIndex, TopKIndex, build_topk_index
+
+__all__ = [
+    "FenwickTree",
+    "MaxSegmentTree",
+    "ScoreArrayTopKIndex",
+    "BlockTopKIndex",
+    "SkylineTree",
+    "SkylineTreeTopKIndex",
+    "DurableSkybandIndex",
+    "PrioritySearchTree",
+    "CountingTopKIndex",
+    "TopKIndex",
+    "build_topk_index",
+    "skyline_indices",
+    "kskyband_indices",
+    "pareto_dominates",
+]

@@ -1,0 +1,83 @@
+"""Fenwick tree (binary indexed tree) over a fixed integer domain.
+
+The blocking mechanism of the score-prioritized algorithms (Section IV of
+the paper) needs two operations, both in logarithmic time:
+
+* insert a blocking interval ``[l, l + tau]`` — since every interval has the
+  same length ``tau``, inserting the *left endpoint* ``l`` is enough;
+* count how many blocking intervals contain a timestamp ``t`` — equivalent
+  to counting left endpoints inside ``[t - tau, t]``.
+
+A Fenwick tree over the discrete time domain supports exactly this: point
+update + prefix-sum query, each ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """Point-update / prefix-sum tree over the domain ``[0, size)``.
+
+    >>> ft = FenwickTree(8)
+    >>> ft.add(3)
+    >>> ft.add(5, 2)
+    >>> ft.prefix_sum(4)
+    1
+    >>> ft.range_sum(3, 5)
+    3
+    """
+
+    __slots__ = ("_size", "_tree")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    @property
+    def size(self) -> int:
+        """Domain size the tree was built for."""
+        return self._size
+
+    def add(self, index: int, delta: int = 1) -> None:
+        """Add ``delta`` at position ``index`` (0-based)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        i = index + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of values at positions ``[0, index]``.
+
+        ``index`` may lie outside the domain; it is clamped, so callers can
+        pass e.g. ``t - tau - 1`` without bounds bookkeeping.
+        """
+        if index < 0:
+            return 0
+        i = min(index, self._size - 1) + 1
+        total = 0
+        tree = self._tree
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of values at positions ``[lo, hi]`` (inclusive, clamped)."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+    def total(self) -> int:
+        """Sum over the whole domain."""
+        return self.prefix_sum(self._size - 1)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FenwickTree(size={self._size}, total={self.total()})"

@@ -1,0 +1,99 @@
+"""Priority search tree for 3-sided range reporting.
+
+The S-Band algorithm (Section IV-B, Figure 4) maps every record ``p`` to the
+2-D point ``(p.t, tau_p)`` — arrival time versus longest duration in the
+k-skyband — and answers a durable top-k query by reporting all points inside
+the 3-sided rectangle ``[t1, t2] x [tau, +inf)``. The paper indexes these
+points with a priority search tree; this is a faithful static
+implementation:
+
+* a binary tree over points, where each node holds the not-yet-placed point
+  with the maximum ``y`` (a heap on ``y``) and splits the remaining points
+  at the median ``x`` (a BST on ``x``);
+* a 3-sided query ``x in [x1, x2], y >= y0`` walks down, pruning subtrees
+  whose root ``y`` is below ``y0`` (heap order makes the root the subtree
+  max) and whose ``x`` ranges miss ``[x1, x2]``.
+
+Construction is ``O(n log n)``, space ``O(n)``, queries
+``O(log n + output)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["PrioritySearchTree"]
+
+
+class _Node:
+    __slots__ = ("x", "y", "payload", "split", "left", "right")
+
+    def __init__(self, x: float, y: float, payload: object) -> None:
+        self.x = x
+        self.y = y
+        self.payload = payload
+        self.split: float = x
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+
+
+class PrioritySearchTree:
+    """Static priority search tree over ``(x, y, payload)`` triples.
+
+    >>> pst = PrioritySearchTree([(1, 5, 'a'), (2, 1, 'b'), (3, 4, 'c')])
+    >>> sorted(pst.query_3sided(1, 3, 4))
+    ['a', 'c']
+    """
+
+    def __init__(self, points: Iterable[tuple[float, float, object]]) -> None:
+        items = [(float(x), float(y), payload) for x, y, payload in points]
+        items.sort(key=lambda item: item[0])
+        self._size = len(items)
+        self._root = self._build(items)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, items: Sequence[tuple[float, float, object]]) -> _Node | None:
+        if not items:
+            return None
+        # Pull out the max-y point; it becomes this subtree's root.
+        best = max(range(len(items)), key=lambda i: (items[i][1], -i))
+        x, y, payload = items[best]
+        rest = [items[i] for i in range(len(items)) if i != best]
+        node = _Node(x, y, payload)
+        if rest:
+            mid = len(rest) // 2
+            node.split = rest[mid][0] if len(rest) % 2 else rest[mid - 1][0]
+            # Split the remainder at the median x; the x-sorted input keeps
+            # both halves sorted, so recursion stays O(n log n) overall.
+            left = rest[: (len(rest) + 1) // 2]
+            right = rest[(len(rest) + 1) // 2 :]
+            node.split = left[-1][0] if left else x
+            node.left = self._build(left)
+            node.right = self._build(right)
+        return node
+
+    def query_3sided(self, x1: float, x2: float, y0: float) -> list[object]:
+        """Payloads of all points with ``x1 <= x <= x2`` and ``y >= y0``."""
+        out: list[object] = []
+        if self._root is None or x2 < x1:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.y < y0:
+                continue  # heap order: the whole subtree is below y0
+            if x1 <= node.x <= x2:
+                out.append(node.payload)
+            # Duplicated x values may straddle the positional split, so both
+            # conditions are inclusive; only distinct values are pruned.
+            if node.left is not None and x1 <= node.split:
+                stack.append(node.left)
+            if node.right is not None and x2 >= node.split:
+                stack.append(node.right)
+        return out
+
+    def count_3sided(self, x1: float, x2: float, y0: float) -> int:
+        """Number of points inside the 3-sided rectangle."""
+        return len(self.query_3sided(x1, x2, y0))

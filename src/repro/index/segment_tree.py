@@ -1,0 +1,125 @@
+"""Static max segment tree with argmax descent.
+
+This backs the pragmatic top-k building block
+(:class:`repro.index.range_topk.ScoreArrayTopKIndex`): once a preference
+vector is fixed, all record scores are a flat float array and range top-k
+reduces to repeated range-argmax with exclusion, which a max segment tree
+answers in ``O(log n)`` each.
+
+The tree is built bottom-up over a power-of-two capacity with ``-inf``
+padding, stored in flat arrays for speed. It supports point updates so the
+same structure serves the (optional) streaming/append extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_NEG_INF = float("-inf")
+
+
+class MaxSegmentTree:
+    """Range-max / range-argmax over a float array.
+
+    Ties are broken toward the *larger index* (later arrival), matching the
+    canonical total order used throughout the library (see
+    :mod:`repro.core.order`).
+
+    >>> st = MaxSegmentTree([5.0, 9.0, 9.0, 1.0])
+    >>> st.range_argmax(0, 3)
+    2
+    >>> st.range_max(2, 3)
+    9.0
+    """
+
+    __slots__ = ("_n", "_cap", "_val", "_arg")
+
+    def __init__(self, values: Sequence[float]) -> None:
+        import numpy as np
+
+        n = len(values)
+        self._n = n
+        cap = 1 if n == 0 else 1 << max(0, math.ceil(math.log2(max(1, n))))
+        if cap < n:  # pragma: no cover - defensive, ceil above prevents this
+            cap *= 2
+        self._cap = cap
+        # Vectorised bottom-up build: compute each level from the one below
+        # with numpy, then drop to plain lists (fast scalar access in the
+        # query hot path).
+        val = np.full(2 * cap, _NEG_INF)
+        arg = np.full(2 * cap, -1, dtype=np.int64)
+        val[cap : cap + n] = np.asarray(values, dtype=float)
+        arg[cap : cap + n] = np.arange(n)
+        lo = cap
+        while lo > 1:
+            left_v, right_v = val[lo : 2 * lo : 2], val[lo + 1 : 2 * lo : 2]
+            left_a, right_a = arg[lo : 2 * lo : 2], arg[lo + 1 : 2 * lo : 2]
+            # ">=" keeps the right (later) child on ties.
+            take_right = right_v >= left_v
+            half = lo // 2
+            val[half:lo] = np.where(take_right, right_v, left_v)
+            arg[half:lo] = np.where(take_right, right_a, left_a)
+            lo = half
+        self._val = val.tolist()
+        self._arg = arg.tolist()
+
+    def __len__(self) -> int:
+        return self._n
+
+    def update(self, index: int, value: float) -> None:
+        """Set ``values[index] = value`` and repair the path to the root."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"index {index} out of range [0, {self._n})")
+        val, arg = self._val, self._arg
+        i = self._cap + index
+        val[i] = float(value)
+        i //= 2
+        while i >= 1:
+            left, right = 2 * i, 2 * i + 1
+            if val[right] >= val[left]:
+                val[i], arg[i] = val[right], arg[right]
+            else:
+                val[i], arg[i] = val[left], arg[left]
+            i //= 2
+
+    def value_at(self, index: int) -> float:
+        """Current value stored at ``index``."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"index {index} out of range [0, {self._n})")
+        return self._val[self._cap + index]
+
+    def range_max_with_argmax(self, lo: int, hi: int) -> tuple[float, int]:
+        """``(max value, argmax index)`` over ``[lo, hi]`` inclusive.
+
+        Returns ``(-inf, -1)`` when the clamped range is empty. Ties go to
+        the larger index.
+        """
+        lo = max(lo, 0)
+        hi = min(hi, self._n - 1)
+        if hi < lo:
+            return _NEG_INF, -1
+        val, arg, cap = self._val, self._arg, self._cap
+        best_v, best_i = _NEG_INF, -1
+        left = lo + cap
+        right = hi + cap + 1
+        while left < right:
+            if left & 1:
+                if val[left] > best_v or (val[left] == best_v and arg[left] > best_i):
+                    best_v, best_i = val[left], arg[left]
+                left += 1
+            if right & 1:
+                right -= 1
+                if val[right] > best_v or (val[right] == best_v and arg[right] > best_i):
+                    best_v, best_i = val[right], arg[right]
+            left //= 2
+            right //= 2
+        return best_v, best_i
+
+    def range_max(self, lo: int, hi: int) -> float:
+        """Maximum value over ``[lo, hi]`` inclusive (``-inf`` if empty)."""
+        return self.range_max_with_argmax(lo, hi)[0]
+
+    def range_argmax(self, lo: int, hi: int) -> int:
+        """Index of the maximum over ``[lo, hi]`` (``-1`` if empty)."""
+        return self.range_max_with_argmax(lo, hi)[1]

@@ -1,0 +1,120 @@
+"""The top-k building-block protocol and its counting adapter.
+
+Section II of the paper deliberately treats the top-k query as a pluggable
+"building block": the contribution of the durable top-k algorithms is to
+*bound the number of invocations* of that block. This module pins the
+contract down as a :class:`typing.Protocol`, provides a factory over the two
+shipped implementations, and a counting wrapper so experiments can report
+the exact invocation counts shown in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Protocol, runtime_checkable
+
+from repro.core.query import QueryStats
+
+__all__ = ["TopKIndex", "CountingTopKIndex", "build_topk_index", "TopKKind"]
+
+#: Categories of top-k invocations, matching the decomposition in the
+#: paper's figure panels: durability checks versus queries issued to find
+#: the next highest-score record (S-Hop) or candidate sets.
+TopKKind = Literal["durability", "candidate"]
+
+
+@runtime_checkable
+class TopKIndex(Protocol):
+    """Contract every top-k building block implements.
+
+    Record ids equal normalised arrival times; ranges are inclusive and may
+    exceed the data bounds (implementations clamp).
+    """
+
+    @property
+    def n(self) -> int:
+        """Number of indexed records."""
+
+    def score(self, record_id: int) -> float:
+        """Score of one record under the bound preference."""
+
+    def top1(self, lo: int, hi: int) -> int | None:
+        """Best record id in ``[lo, hi]`` or ``None`` when empty."""
+
+    def topk(self, k: int, lo: int, hi: int) -> list[int]:
+        """Top-k record ids in ``[lo, hi]``, canonical order, best first."""
+
+
+class CountingTopKIndex:
+    """Wrap a :class:`TopKIndex`, tallying invocations into ``QueryStats``.
+
+    The wrapper distinguishes *durability checks* (Line 4 of Algorithm 1 /
+    Line 8 of Algorithm 3) from *candidate queries* (partition seeding and
+    interval splits in S-Hop), mirroring the shaded/unshaded bar split of
+    Figures 8–10.
+    """
+
+    def __init__(self, inner: TopKIndex, stats: QueryStats) -> None:
+        self._inner = inner
+        self.stats = stats
+
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    def score(self, record_id: int) -> float:
+        return self._inner.score(record_id)
+
+    def top1(self, lo: int, hi: int, kind: TopKKind = "candidate") -> int | None:
+        self._count(kind)
+        return self._inner.top1(lo, hi)
+
+    def topk(self, k: int, lo: int, hi: int, kind: TopKKind = "durability") -> list[int]:
+        self._count(kind)
+        return self._inner.topk(k, lo, hi)
+
+    def _count(self, kind: TopKKind) -> None:
+        if kind == "durability":
+            self.stats.durability_topk_queries += 1
+        else:
+            self.stats.candidate_topk_queries += 1
+
+
+def build_topk_index(dataset, scorer, method: str = "auto") -> TopKIndex:
+    """Build a preference-bound top-k block for ``dataset`` under ``scorer``.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`repro.core.record.Dataset`.
+    scorer:
+        A :class:`repro.scoring.base.ScoringFunction` already parameterised
+        by the user's preference vector.
+    method:
+        ``"score_array"`` — materialise all scores and build the segment
+        tree block (works for any scoring function);
+        ``"skyline_tree"`` — the paper's Appendix-A index (requires a
+        monotone scoring function; the per-dataset tree is built on first
+        use and cached on the dataset);
+        ``"auto"`` — ``skyline_tree`` when the scorer is monotone and a tree
+        is already cached, else ``score_array``.
+    """
+    from repro.index.range_topk import ScoreArrayTopKIndex
+    from repro.index.skyline_tree import SkylineTree
+
+    if method not in ("auto", "score_array", "skyline_tree"):
+        raise ValueError(f"unknown top-k index method: {method!r}")
+
+    if method == "skyline_tree" or (method == "auto" and scorer.is_monotone and dataset.has_cached("skyline_tree")):
+        if not scorer.is_monotone:
+            raise ValueError(
+                "the skyline-tree block needs a monotone scoring function; "
+                f"{scorer!r} is not monotone — use method='score_array'"
+            )
+        tree = dataset.get_cached("skyline_tree")
+        if tree is None:
+            tree = SkylineTree(dataset)
+            dataset.set_cached("skyline_tree", tree)
+        return tree.bind(scorer)
+
+    scores = scorer.scores(dataset.values)
+    return ScoreArrayTopKIndex(scores)

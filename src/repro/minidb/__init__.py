@@ -1,0 +1,40 @@
+"""MiniDB — a small page-based storage engine standing in for PostgreSQL.
+
+Section VI-C of the paper implements T-Base and T-Hop as stored procedures
+inside PostgreSQL, with a data table, an auxiliary index table for range
+top-k retrieval, and measures end-to-end query time on up to 30 GB of
+data. PostgreSQL is unavailable here, so MiniDB reproduces the relevant
+mechanics at laptop scale:
+
+* :mod:`repro.minidb.pager` — fixed-size pages in a real temporary file;
+* :mod:`repro.minidb.buffer` — an LRU buffer pool counting logical and
+  physical page reads (the DBMS cost proxy);
+* :mod:`repro.minidb.table` — a heap table of fixed-width float rows;
+* :mod:`repro.minidb.blockindex` — the "index table": a hierarchy of
+  per-block skylines, stored in pages, enabling branch-and-bound range
+  top-k with page-level access costs;
+* :mod:`repro.minidb.procedures` — T-Base and T-Hop written against the
+  page API only, as the paper's stored procedures are.
+
+The reproduced claim is *shape*: T-Hop touches a near-constant number of
+pages per query while T-Base's sliding window scans the whole interval,
+so the gap widens with data size exactly as in Tables IV–VI.
+"""
+
+from repro.minidb.blockindex import BlockSkylineIndex
+from repro.minidb.buffer import BufferPool
+from repro.minidb.database import MiniDB
+from repro.minidb.pager import PAGE_SIZE, Pager
+from repro.minidb.procedures import t_base_procedure, t_hop_procedure
+from repro.minidb.table import HeapTable
+
+__all__ = [
+    "PAGE_SIZE",
+    "Pager",
+    "BufferPool",
+    "HeapTable",
+    "BlockSkylineIndex",
+    "MiniDB",
+    "t_base_procedure",
+    "t_hop_procedure",
+]

@@ -1,0 +1,24 @@
+"""User-specified scoring functions.
+
+The paper's algorithms accept any scoring function for which a top-k
+building block exists. This package ships the three *preference function*
+families called out in Section II — linear, linear combinations of monotone
+transforms, and cosine — plus the protocol for plugging in custom ones.
+"""
+
+from repro.scoring.base import ScoringFunction, SingleAttribute
+from repro.scoring.preference import (
+    CosinePreference,
+    LinearPreference,
+    MonotonePreference,
+    random_preference,
+)
+
+__all__ = [
+    "ScoringFunction",
+    "SingleAttribute",
+    "LinearPreference",
+    "MonotonePreference",
+    "CosinePreference",
+    "random_preference",
+]

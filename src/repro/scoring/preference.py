@@ -1,0 +1,132 @@
+"""Preference functions parameterised by a user vector ``u`` (Section II).
+
+* :class:`LinearPreference` — ``f_u(p) = sum_i u_i * p.x_i``;
+* :class:`MonotonePreference` — ``f_u(p) = sum_i u_i * h(p.x_i)`` for a
+  monotone transform ``h`` (e.g. ``log``);
+* :class:`CosinePreference` — cosine similarity between ``p`` and ``u``
+  (not monotone: normalisation breaks Pareto ordering, so it exercises the
+  "arbitrary scoring function" path of the algorithms).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.scoring.base import ScoringFunction
+
+__all__ = ["LinearPreference", "MonotonePreference", "CosinePreference", "random_preference"]
+
+
+def _as_weight_vector(u) -> np.ndarray:
+    u = np.asarray(u, dtype=float)
+    if u.ndim != 1 or len(u) == 0:
+        raise ValueError(f"preference vector must be 1-D and non-empty, got shape {u.shape}")
+    if not np.isfinite(u).all():
+        raise ValueError("preference vector must be finite")
+    return u
+
+
+class LinearPreference(ScoringFunction):
+    """Weighted sum of attributes.
+
+    Monotone when every weight is non-negative (the paper's setting);
+    negative weights are accepted but drop the monotonicity flag, which
+    routes queries away from the skyline/k-skyband machinery.
+    """
+
+    def __init__(self, u) -> None:
+        self.u = _as_weight_vector(u)
+        self.is_monotone = bool(np.all(self.u >= 0))
+        self.is_strictly_monotone = bool(np.all(self.u > 0))
+        self.name = f"linear(d={len(self.u)})"
+
+    def scores(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        return values @ self.u
+
+    def validate_for(self, d: int) -> None:
+        if len(self.u) != d:
+            raise ValueError(f"preference vector has {len(self.u)} weights but data has d={d}")
+
+
+class MonotonePreference(ScoringFunction):
+    """Weighted sum of a monotone transform of each attribute.
+
+    ``transform`` must be a vectorised non-decreasing function; ``log1p``
+    is the default, matching the paper's ``h(.) = log(.)`` example while
+    staying defined at zero.
+    """
+
+    def __init__(
+        self,
+        u,
+        transform: Callable[[np.ndarray], np.ndarray] = np.log1p,
+        transform_name: str = "log1p",
+        strictly_increasing: bool = True,
+    ) -> None:
+        self.u = _as_weight_vector(u)
+        self.transform = transform
+        self.is_monotone = bool(np.all(self.u >= 0))
+        self.is_strictly_monotone = bool(np.all(self.u > 0)) and strictly_increasing
+        self.name = f"monotone({transform_name}, d={len(self.u)})"
+
+    def scores(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        return self.transform(values) @ self.u
+
+    def validate_for(self, d: int) -> None:
+        if len(self.u) != d:
+            raise ValueError(f"preference vector has {len(self.u)} weights but data has d={d}")
+
+
+class CosinePreference(ScoringFunction):
+    """Cosine similarity between the record and the preference vector.
+
+    ``f_u(p) = (u . p) / (|u| |p|)``; records at the origin score 0.
+    Deliberately *not* monotone: a dominated record can point closer to
+    ``u``'s direction. Use with the score-array building block.
+    """
+
+    is_monotone = False
+
+    def __init__(self, u) -> None:
+        self.u = _as_weight_vector(u)
+        norm = float(np.linalg.norm(self.u))
+        if norm == 0.0:
+            raise ValueError("cosine preference vector must be non-zero")
+        self._unit = self.u / norm
+        self.name = f"cosine(d={len(self.u)})"
+
+    def scores(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        norms = np.linalg.norm(values, axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = (values @ self._unit) / norms
+        out[norms == 0.0] = 0.0
+        return out
+
+    def validate_for(self, d: int) -> None:
+        if len(self.u) != d:
+            raise ValueError(f"preference vector has {len(self.u)} weights but data has d={d}")
+
+
+def random_preference(rng: np.random.Generator, d: int, kind: str = "uniform") -> np.ndarray:
+    """A random non-negative preference vector, normalised to sum 1.
+
+    The experiments (Section VI) average each data point over queries with
+    randomly generated preference vectors; this is the generator they use.
+
+    ``kind`` is ``"uniform"`` (iid U[0,1] weights, renormalised) or
+    ``"dirichlet"`` (flat Dirichlet — uniform over the simplex).
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if kind == "uniform":
+        u = rng.random(d) + 1e-9
+    elif kind == "dirichlet":
+        u = np.maximum(rng.dirichlet(np.ones(d)), 1e-12)
+    else:
+        raise ValueError(f"unknown preference kind: {kind!r}")
+    return u / u.sum()

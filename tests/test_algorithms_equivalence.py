@@ -1,0 +1,190 @@
+"""Integration tests: all five algorithms against the brute-force oracle.
+
+This is the central correctness suite — every algorithm must return the
+exact durable top-k set on every dataset shape, parameter corner and index
+block.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.core.reference import brute_force_durable_topk
+from repro.scoring import CosinePreference, LinearPreference, MonotonePreference
+
+ALL = ["t-base", "t-hop", "s-base", "s-band", "s-hop"]
+NO_BAND = ["t-base", "t-hop", "s-base", "s-hop"]
+
+
+def check_all(dataset, scorer, k, tau, interval=None, algorithms=ALL, index_method="score_array"):
+    engine = DurableTopKEngine(dataset, index_method=index_method, skyband_k_max=max(16, k))
+    lo, hi = DurableTopKQuery(k=k, tau=tau, interval=interval).resolve_interval(dataset.n)
+    expected = brute_force_durable_topk(scorer.scores(dataset.values), k, lo, hi, tau)
+    for name in algorithms:
+        result = engine.query(
+            DurableTopKQuery(k=k, tau=tau, interval=interval), scorer, algorithm=name
+        )
+        assert result.ids == expected, (
+            f"{name} on {dataset.name} (k={k}, tau={tau}, I={interval}): "
+            f"{len(result.ids)} vs expected {len(expected)}"
+        )
+    return expected
+
+
+@pytest.mark.parametrize("k", [1, 2, 5, 10])
+def test_ind_data_all_algorithms(small_ind, linear_2d, k):
+    check_all(small_ind, linear_2d, k=k, tau=60)
+
+
+@pytest.mark.parametrize("tau", [1, 5, 50, 200, 599, 1000])
+def test_tau_extremes(small_ind, linear_2d, tau):
+    check_all(small_ind, linear_2d, k=3, tau=tau)
+
+
+def test_anti_data(small_anti, linear_2d):
+    check_all(small_anti, linear_2d, k=4, tau=40)
+
+
+def test_anti_data_large_k(small_anti, linear_2d):
+    check_all(small_anti, linear_2d, k=16, tau=80)
+
+
+def test_k_at_least_window_size(small_ind, linear_2d):
+    # Every record durable: k >= number of records in any window.
+    expected = check_all(small_ind, linear_2d, k=16, tau=12)
+    assert expected  # non-trivial
+
+
+def test_interval_subranges(small_ind, linear_2d):
+    check_all(small_ind, linear_2d, k=3, tau=50, interval=(100, 400))
+    check_all(small_ind, linear_2d, k=3, tau=50, interval=(0, 50))
+    check_all(small_ind, linear_2d, k=3, tau=50, interval=(550, 599))
+
+
+def test_single_point_interval(small_ind, linear_2d):
+    check_all(small_ind, linear_2d, k=2, tau=30, interval=(300, 300))
+
+
+def test_interval_at_history_start(small_ind, linear_2d):
+    # Windows clipped at time 0: records with partial history.
+    check_all(small_ind, linear_2d, k=2, tau=100, interval=(0, 120))
+
+
+def test_nba_monotone_combination(small_nba):
+    scorer = MonotonePreference(np.ones(15) / 15.0)
+    check_all(small_nba, scorer, k=5, tau=150)
+
+
+def test_nba_two_attrs_heavy_ties(small_nba):
+    data = small_nba.select_attributes(["points", "assists"])
+    scorer = LinearPreference([0.9, 0.1])
+    check_all(data, scorer, k=3, tau=100)
+
+
+def test_tie_heavy_all_algorithms(tie_heavy_dataset):
+    scorer = LinearPreference([1.0, 1.0])
+    check_all(tie_heavy_dataset, scorer, k=3, tau=25)
+
+
+def test_tie_heavy_k1_zero_weight(tie_heavy_dataset):
+    # A zero weight: monotone but not strictly — S-Band must refuse (a
+    # tied-but-dominated record can be durable yet miss the k-skyband).
+    scorer = LinearPreference([1.0, 0.0])
+    check_all(tie_heavy_dataset, scorer, k=1, tau=40, algorithms=NO_BAND)
+    engine = DurableTopKEngine(tie_heavy_dataset, skyband_k_max=4)
+    with pytest.raises(ValueError, match="strictly monotone"):
+        engine.query(DurableTopKQuery(k=1, tau=40), scorer, algorithm="s-band")
+
+
+def test_constant_scores_everything_durable_up_to_k(tie_heavy_dataset):
+    scorer = LinearPreference([0.0, 0.0])  # all scores identical
+    expected = check_all(tie_heavy_dataset, scorer, k=1, tau=50, algorithms=NO_BAND)
+    # With all-equal scores nothing is *strictly* better: all durable.
+    assert expected == list(range(tie_heavy_dataset.n))
+
+
+def test_network_high_dimensional(small_network):
+    rng = np.random.default_rng(77)
+    scorer = LinearPreference(rng.random(37))
+    check_all(small_network, scorer, k=5, tau=120)
+
+
+def test_cosine_scorer_non_monotone(small_ind):
+    scorer = CosinePreference([0.4, 0.6])
+    check_all(small_ind, scorer, k=4, tau=70, algorithms=NO_BAND)
+
+
+def test_negative_weights_non_monotone(small_ind):
+    scorer = LinearPreference([1.0, -0.5])
+    check_all(small_ind, scorer, k=3, tau=60, algorithms=NO_BAND)
+
+
+def test_skyline_tree_index_block(small_ind, linear_2d):
+    check_all(small_ind, linear_2d, k=4, tau=80, index_method="skyline_tree")
+
+
+def test_skyline_tree_index_block_nba(small_nba):
+    data = small_nba.select_attributes(["points", "assists", "rebounds"])
+    scorer = LinearPreference([0.5, 0.3, 0.2])
+    check_all(data, scorer, k=6, tau=200, index_method="skyline_tree")
+
+
+def test_randomised_parameter_grid(small_ind):
+    rng = np.random.default_rng(88)
+    for _ in range(15):
+        k = int(rng.integers(1, 12))
+        tau = int(rng.integers(1, 300))
+        lo = int(rng.integers(0, 500))
+        hi = int(rng.integers(lo, 600))
+        u = rng.random(2)
+        check_all(small_ind, LinearPreference(u), k=k, tau=tau, interval=(lo, hi))
+
+
+def test_future_direction_all_algorithms(small_ind, linear_2d):
+    """Every algorithm agrees in the look-ahead direction too."""
+    from repro.core.query import Direction
+
+    engine = DurableTopKEngine(small_ind, skyband_k_max=8)
+    results = engine.compare(
+        DurableTopKQuery(k=3, tau=45, direction=Direction.FUTURE), linear_2d
+    )
+    assert len(results) == 5
+    answers = {tuple(r.ids) for r in results.values()}
+    assert len(answers) == 1
+    # Cross-check against the reversed oracle.
+    rev = brute_force_durable_topk(linear_2d.scores(small_ind.values)[::-1], 3, 0, 599, 45)
+    expected = sorted(599 - t for t in rev)
+    assert list(next(iter(answers))) == expected
+
+
+def test_sband_with_skyline_tree_block(small_ind, linear_2d):
+    """The offline skyband index composes with the Appendix-A block."""
+    check_all(
+        small_ind,
+        linear_2d,
+        k=4,
+        tau=70,
+        algorithms=["s-band", "s-hop"],
+        index_method="skyline_tree",
+    )
+
+
+def test_noblock_ablation_variant_is_exact(small_ind, linear_2d):
+    engine = DurableTopKEngine(small_ind)
+    expected = brute_force_durable_topk(linear_2d.scores(small_ind.values), 4, 0, 599, 50)
+    res = engine.query(DurableTopKQuery(k=4, tau=50), linear_2d, algorithm="s-hop-noblock")
+    assert res.ids == expected
+    # ... and pays for it: one durability check per record in range.
+    assert res.stats.durability_topk_queries >= 0.9 * 600
+
+
+def test_monotone_duplicated_timeline_blocks():
+    # Repeating pattern: stresses hop logic with periodic maxima.
+    pattern = np.tile(np.array([1.0, 3.0, 2.0, 5.0, 4.0]), 40)
+    data_values = np.column_stack([pattern, pattern[::-1]])
+    from repro.core.record import Dataset
+
+    data = Dataset(data_values, name="periodic")
+    check_all(data, LinearPreference([1.0, 0.0]), k=2, tau=7, algorithms=NO_BAND)
+    check_all(data, LinearPreference([1.0, 0.01]), k=2, tau=7)

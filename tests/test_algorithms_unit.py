@@ -1,0 +1,160 @@
+"""Per-algorithm unit tests: stats accounting and complexity bounds.
+
+Lemma 1 (T-Hop) and Lemma 3 (S-Hop) bound the number of top-k queries by
+``O(|S| + k * ceil(|I| / tau))``; these tests assert the bound with an
+explicit constant, so a regression that silently destroys the pruning
+shows up as a test failure, not just a slow benchmark.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.scoring import LinearPreference
+
+
+def run(dataset, algorithm, k=5, tau=50, interval=None, scorer=None, **engine_kwargs):
+    engine = DurableTopKEngine(dataset, skyband_k_max=16, **engine_kwargs)
+    scorer = scorer or LinearPreference(np.ones(dataset.d) / dataset.d)
+    return engine.query(
+        DurableTopKQuery(k=k, tau=tau, interval=interval), scorer, algorithm=algorithm
+    )
+
+
+def lemma_bound(result) -> float:
+    """|S| + k * ceil(|I| / tau), the Lemma 1/3 quantity."""
+    q = result.query
+    lo, hi = q.interval
+    interval_len = hi - lo + 1
+    return len(result.ids) + q.k * math.ceil(interval_len / q.tau)
+
+
+class TestTimeHop:
+    def test_query_count_within_lemma1_bound(self, small_ind, linear_2d):
+        res = run(small_ind, "t-hop", k=5, tau=50, interval=(0, 599), scorer=linear_2d)
+        # Queries = durable hits + false checks; Lemma 1 bounds false
+        # checks by |S| + k*ceil(|I|/tau), so total <= 2|S| + k*ceil(...).
+        assert res.stats.durability_topk_queries <= len(res.ids) + lemma_bound(res)
+
+    def test_false_checks_accounted(self, small_ind, linear_2d):
+        res = run(small_ind, "t-hop", interval=(0, 599), scorer=linear_2d)
+        assert res.stats.durability_topk_queries == len(res.ids) + res.stats.false_checks
+
+    def test_hops_reduce_visits(self, small_ind, linear_2d):
+        res = run(small_ind, "t-hop", k=2, tau=100, interval=(0, 599), scorer=linear_2d)
+        interval_len = 600
+        assert res.stats.hops > 0
+        assert res.stats.hop_distance > 0
+        # Visited records = queries issued; must be far below |I|.
+        assert res.stats.topk_queries < interval_len / 2
+
+    def test_no_candidate_queries(self, small_ind, linear_2d):
+        res = run(small_ind, "t-hop", scorer=linear_2d)
+        assert res.stats.candidate_topk_queries == 0
+
+
+class TestTimeBaseline:
+    def test_incremental_updates_cover_interval(self, small_ind, linear_2d):
+        res = run(small_ind, "t-base", k=3, tau=50, interval=(100, 500), scorer=linear_2d)
+        # Every non-durable slide is an incremental update; with durables
+        # triggering recomputes, updates + recomputes ~= interval length.
+        assert res.stats.incremental_updates + res.stats.durability_topk_queries >= 400
+
+    def test_queries_close_to_answer_size(self, small_ind, linear_2d):
+        res = run(small_ind, "t-base", k=3, tau=50, interval=(100, 500), scorer=linear_2d)
+        # T-Base recomputes only when a durable record expires (plus the
+        # initial query and boundary effects).
+        assert res.stats.durability_topk_queries <= 2 * len(res.ids) + 2
+
+
+class TestScoreBaseline:
+    def test_no_topk_queries_at_all(self, small_ind, linear_2d):
+        res = run(small_ind, "s-base", scorer=linear_2d)
+        assert res.stats.topk_queries == 0
+
+    def test_sorts_whole_range(self, small_ind, linear_2d):
+        res = run(small_ind, "s-base", tau=50, interval=(100, 500), scorer=linear_2d)
+        # Records [lo - tau, hi] = [50, 500] participate in the sort.
+        assert res.stats.records_sorted == 451
+
+    def test_blocking_intervals_added_for_every_record(self, small_ind, linear_2d):
+        res = run(small_ind, "s-base", tau=50, interval=(100, 500), scorer=linear_2d)
+        assert res.stats.blocking_intervals == 451
+
+
+class TestScoreBand:
+    def test_candidate_set_recorded_and_superset(self, small_ind, linear_2d):
+        res = run(small_ind, "s-band", k=4, tau=60, scorer=linear_2d)
+        assert res.stats.candidate_set_size >= len(res.ids)
+
+    def test_fails_without_skyband_index(self, small_ind, linear_2d):
+        engine = DurableTopKEngine(small_ind, skyband_k_max=None)
+        with pytest.raises(ValueError, match="DurableSkybandIndex"):
+            engine.query(DurableTopKQuery(k=2, tau=30), linear_2d, algorithm="s-band")
+
+    def test_rejects_non_monotone_scorer(self, small_ind):
+        from repro.scoring import CosinePreference
+
+        engine = DurableTopKEngine(small_ind, skyband_k_max=8)
+        with pytest.raises(ValueError, match="monotone"):
+            engine.query(
+                DurableTopKQuery(k=2, tau=30),
+                CosinePreference([1.0, 1.0]),
+                algorithm="s-band",
+            )
+
+    def test_candidate_queries_bounded_by_candidates(self, small_ind, linear_2d):
+        res = run(small_ind, "s-band", k=4, tau=60, scorer=linear_2d)
+        assert res.stats.durability_topk_queries <= res.stats.candidate_set_size
+
+
+class TestScoreHop:
+    def test_query_count_within_lemma3_bound(self, small_ind, linear_2d):
+        res = run(small_ind, "s-hop", k=5, tau=50, interval=(0, 599), scorer=linear_2d)
+        bound = lemma_bound(res)
+        assert res.stats.durability_topk_queries <= len(res.ids) + bound
+        # Candidate queries: one per initial partition + two per split;
+        # splits happen once per durability check.
+        assert res.stats.candidate_topk_queries <= 2 * (
+            res.stats.durability_topk_queries + math.ceil(600 / 50)
+        )
+
+    def test_false_checks_accounted(self, small_ind, linear_2d):
+        res = run(small_ind, "s-hop", interval=(0, 599), scorer=linear_2d)
+        assert res.stats.durability_topk_queries == len(res.ids) + res.stats.false_checks
+
+    def test_blocked_skips_happen_on_dense_data(self, small_anti):
+        scorer = LinearPreference([0.5, 0.5])
+        res = run(small_anti, "s-hop", k=3, tau=60, scorer=scorer)
+        assert res.stats.blocked_skips > 0
+
+    def test_durability_checks_fewer_than_thop(self, small_ind, linear_2d):
+        """The blocking mechanism makes S-Hop more conservative (Sec IV-D)."""
+        hop = run(small_ind, "t-hop", k=8, tau=80, scorer=linear_2d)
+        shop = run(small_ind, "s-hop", k=8, tau=80, scorer=linear_2d)
+        assert shop.stats.durability_topk_queries <= hop.stats.durability_topk_queries
+
+
+class TestStatsPlumbing:
+    def test_elapsed_recorded(self, small_ind, linear_2d):
+        res = run(small_ind, "t-hop", scorer=linear_2d)
+        assert res.elapsed_seconds > 0
+
+    def test_stats_dict_roundtrip(self, small_ind, linear_2d):
+        res = run(small_ind, "s-hop", scorer=linear_2d)
+        d = res.stats.as_dict()
+        assert d["topk_queries"] == res.stats.topk_queries
+        assert "false_checks" in d
+
+    def test_stats_add(self):
+        from repro.core.query import QueryStats
+
+        a = QueryStats(durability_topk_queries=2, hops=1)
+        b = QueryStats(durability_topk_queries=3, false_checks=4)
+        a.add(b)
+        assert a.durability_topk_queries == 5
+        assert a.false_checks == 4
+        assert a.hops == 1

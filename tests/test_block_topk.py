@@ -1,0 +1,110 @@
+"""Tests for the appendable block-decomposition top-k index."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import brute_force_topk
+from repro.index.block_topk import BlockTopKIndex
+
+
+class TestConstruction:
+    def test_empty(self):
+        index = BlockTopKIndex()
+        assert index.n == 0
+        assert index.top1(0, 10) is None
+        assert index.topk(3, 0, 10) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockTopKIndex(block_size=0)
+
+    def test_nan_rejected(self):
+        index = BlockTopKIndex()
+        with pytest.raises(ValueError):
+            index.append(float("nan"))
+
+    def test_append_returns_ids(self):
+        index = BlockTopKIndex()
+        assert [index.append(s) for s in (1.0, 2.0, 3.0)] == [0, 1, 2]
+        assert index.score(1) == 2.0
+
+
+class TestQueries:
+    @pytest.mark.parametrize("block_size", [1, 3, 8, 64, 1000])
+    def test_matches_brute_force(self, block_size):
+        rng = np.random.default_rng(block_size)
+        scores = rng.random(500)
+        index = BlockTopKIndex(scores, block_size=block_size)
+        for _ in range(120):
+            lo, hi = sorted(rng.integers(0, 500, 2))
+            k = int(rng.integers(1, 12))
+            assert index.topk(k, int(lo), int(hi)) == brute_force_topk(
+                scores, k, int(lo), int(hi)
+            ), (block_size, lo, hi, k)
+
+    def test_ties_canonical_order(self):
+        scores = np.array([5.0, 5.0, 1.0, 5.0])
+        index = BlockTopKIndex(scores, block_size=2)
+        assert index.topk(3, 0, 3) == [3, 1, 0]
+
+    def test_matches_brute_force_with_heavy_ties(self):
+        rng = np.random.default_rng(5)
+        scores = rng.integers(0, 4, 300).astype(float)
+        index = BlockTopKIndex(scores, block_size=16)
+        for _ in range(100):
+            lo, hi = sorted(rng.integers(0, 300, 2))
+            k = int(rng.integers(1, 8))
+            assert index.topk(k, int(lo), int(hi)) == brute_force_topk(
+                scores, k, int(lo), int(hi)
+            )
+
+    def test_clamping(self):
+        index = BlockTopKIndex([1.0, 2.0], block_size=4)
+        assert index.topk(5, -10, 50) == [1, 0]
+        assert index.top1(5, 9) is None
+
+
+class TestAppendInteraction:
+    def test_queries_after_appends(self):
+        rng = np.random.default_rng(6)
+        index = BlockTopKIndex(block_size=8)
+        scores: list[float] = []
+        for i in range(300):
+            s = float(rng.random())
+            index.append(s)
+            scores.append(s)
+            if i % 37 == 0:
+                arr = np.array(scores)
+                lo = max(0, i - 50)
+                assert index.topk(5, lo, i) == brute_force_topk(arr, 5, lo, i)
+
+    def test_block_max_consistency_under_growth(self):
+        index = BlockTopKIndex(block_size=4)
+        for s in (1.0, 9.0, 2.0, 3.0, 8.0):
+            index.append(s)
+        assert index.top1(0, 4) == 1
+        assert index.top1(4, 4) == 4
+
+
+class TestAsDurableBuildingBlock:
+    def test_thop_over_block_index(self):
+        """The block index can replace the segment-tree block wholesale."""
+        from repro.core.algorithms.base import AlgorithmContext, get_algorithm
+        from repro.core.query import QueryStats
+        from repro.core.record import Dataset
+        from repro.core.reference import brute_force_durable_topk
+        from repro.index.topk import CountingTopKIndex
+        from repro.scoring import LinearPreference
+
+        rng = np.random.default_rng(7)
+        values = rng.random((400, 2))
+        data = Dataset(values)
+        scorer = LinearPreference([0.4, 0.6])
+        scores = scorer.scores(values)
+        stats = QueryStats()
+        index = CountingTopKIndex(BlockTopKIndex(scores, block_size=32), stats)
+        ctx = AlgorithmContext(
+            dataset=data, index=index, scorer=scorer, k=3, tau=50, lo=0, hi=399, stats=stats
+        )
+        ids = get_algorithm("t-hop").run(ctx)
+        assert ids == brute_force_durable_topk(scores, 3, 0, 399, 50)

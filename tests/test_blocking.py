@@ -1,0 +1,66 @@
+"""Unit tests for the blocking-interval mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import BlockingIntervals
+
+
+def test_tau_validation():
+    with pytest.raises(ValueError):
+        BlockingIntervals(10, 0)
+
+
+def test_single_interval_coverage():
+    blocks = BlockingIntervals(20, 5)
+    blocks.add(3)
+    # [3, 8] covers timestamps 3..8
+    for t in range(3, 9):
+        assert blocks.count_at(t) == 1, t
+    assert blocks.count_at(2) == 0
+    assert blocks.count_at(9) == 0
+
+
+def test_duplicate_add_ignored():
+    blocks = BlockingIntervals(10, 2)
+    assert blocks.add(4) is True
+    assert blocks.add(4) is False
+    assert blocks.n_intervals == 1
+    assert blocks.count_at(5) == 1
+    assert 4 in blocks
+    assert 5 not in blocks
+
+
+def test_is_blocked_threshold():
+    blocks = BlockingIntervals(30, 10)
+    for left in (0, 2, 4):
+        blocks.add(left)
+    assert blocks.count_at(5) == 3
+    assert blocks.is_blocked(5, 3)
+    assert not blocks.is_blocked(5, 4)
+
+
+def test_figure3_scenario():
+    """The Figure 3 example: three staggered intervals, middle covered 3x."""
+    blocks = BlockingIntervals(100, 20)
+    blocks.add(10)  # [10, 30]
+    blocks.add(18)  # [18, 38]
+    blocks.add(25)  # [25, 45]
+    assert blocks.count_at(26) == 3
+    assert blocks.count_at(12) == 1
+    assert blocks.count_at(40) == 1
+    assert blocks.count_at(50) == 0
+
+
+def test_matches_naive_stabbing_counts():
+    rng = np.random.default_rng(17)
+    n, tau = 200, 13
+    blocks = BlockingIntervals(n, tau)
+    lefts: list[int] = []
+    for _ in range(80):
+        left = int(rng.integers(0, n))
+        if blocks.add(left):
+            lefts.append(left)
+    for t in range(n):
+        naive = sum(1 for left in lefts if left <= t <= left + tau)
+        assert blocks.count_at(t) == naive, t

@@ -1,0 +1,86 @@
+"""Tests for claim generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.claims import claim_for, claims_for_result
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import Direction, DurableTopKQuery
+from repro.core.record import Dataset
+from repro.scoring import LinearPreference
+
+
+@pytest.fixture()
+def dataset():
+    return Dataset(
+        np.array([[10.0], [25.0], [15.0], [30.0]]),
+        timestamps=["2001", "2002", "2003", "2004"],
+        labels=["Ann", "Bob", "Cat", "Dan"],
+        attribute_names=["points"],
+    )
+
+
+class TestClaimFor:
+    def test_basic_past_claim(self, dataset):
+        text = claim_for(dataset, 3, k=1, tau=2, highlight_dim=0)
+        assert text == (
+            "On 2004, Dan recorded points = 30 — the top record of the "
+            "preceding 3 arrivals."
+        )
+
+    def test_topk_phrase(self, dataset):
+        assert "top-3 record" in claim_for(dataset, 3, k=3, tau=2)
+
+    def test_unit_conversion(self, dataset):
+        text = claim_for(dataset, 3, k=1, tau=2, slots_per_unit=1, unit="year")
+        assert "3 years" in text
+
+    def test_duration_upgrades_span(self, dataset):
+        text = claim_for(dataset, 3, k=1, tau=1, duration=2, slots_per_unit=1, unit="year")
+        assert "3 years" in text  # duration 2 -> 3 slots, not the queried 1
+
+    def test_whole_history(self, dataset):
+        text = claim_for(dataset, 3, k=1, tau=1, duration=dataset.n)
+        assert "entire recorded history" in text
+
+    def test_future_direction_phrasing(self, dataset):
+        text = claim_for(dataset, 1, k=1, tau=2, direction=Direction.FUTURE)
+        assert "remained" in text
+        assert "following" in text
+
+    def test_fallbacks_without_labels(self):
+        data = Dataset(np.array([[1.0], [2.0]]))
+        text = claim_for(data, 1, k=1, tau=1)
+        assert "record 1" in text
+        assert "t=1" in text
+
+
+class TestClaimsForResult:
+    def test_renders_all_answers(self, dataset):
+        engine = DurableTopKEngine(dataset)
+        res = engine.query(
+            DurableTopKQuery(k=1, tau=2), LinearPreference([1.0]), algorithm="t-hop"
+        )
+        claims = claims_for_result(dataset, res, highlight_dim=0)
+        assert len(claims) == len(res.ids)
+        assert all(c.startswith("On ") for c in claims)
+
+    def test_orders_by_duration_when_available(self, dataset):
+        engine = DurableTopKEngine(dataset)
+        res = engine.query(
+            DurableTopKQuery(k=1, tau=1),
+            LinearPreference([1.0]),
+            algorithm="t-hop",
+            with_durations=True,
+        )
+        claims = claims_for_result(dataset, res)
+        # The most durable record's claim comes first.
+        best = max(res.durations, key=res.durations.get)
+        assert dataset.record(best).label in claims[0]
+
+    def test_limit(self, dataset):
+        engine = DurableTopKEngine(dataset)
+        res = engine.query(
+            DurableTopKQuery(k=2, tau=1), LinearPreference([1.0]), algorithm="t-hop"
+        )
+        assert len(claims_for_result(dataset, res, limit=1)) == 1

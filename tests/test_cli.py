@@ -1,0 +1,42 @@
+"""Tests for the experiment CLI (`python -m repro`)."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestRun:
+    def test_run_fig8_small(self, capsys, tmp_path):
+        code = main(
+            ["run", "fig8", "--workload", "nba2", "--n", "2000",
+             "--preferences", "1", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "t-hop" in out
+        saved = list(tmp_path.glob("*.txt"))
+        assert len(saved) == 1
+        assert "Figure 8" in saved[0].read_text()
+
+    def test_run_fig12_anti_small(self, capsys):
+        # Route the ANTI workload flag through to figure12.
+        code = main(["run", "fig12", "--workload", "anti", "--n", "2000", "--preferences", "1"])
+        assert code == 0
+        assert "ANTI" in capsys.readouterr().out

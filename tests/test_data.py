@@ -1,0 +1,168 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NBA_VARIANTS,
+    anticorrelated,
+    correlated,
+    generate_nba,
+    generate_network,
+    independent_uniform,
+    nba_variant,
+    network_variant,
+    random_permutation_scores,
+    synthetic_dataset,
+)
+from repro.index.skyline import kskyband_indices
+
+
+class TestSynthetic:
+    def test_ind_shape_and_range(self):
+        data = independent_uniform(500, 3, seed=1)
+        assert data.values.shape == (500, 3)
+        assert data.values.min() >= 0.0
+        assert data.values.max() <= 1.0
+
+    def test_ind_deterministic(self):
+        a = independent_uniform(100, 2, seed=5)
+        b = independent_uniform(100, 2, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_anti_radii_in_annulus(self):
+        data = anticorrelated(800, 2, seed=2)
+        radii = np.linalg.norm(data.values, axis=1)
+        assert radii.min() >= 0.8 - 1e-9
+        assert radii.max() <= 1.0 + 1e-9
+
+    def test_anti_higher_dims(self):
+        data = anticorrelated(300, 5, seed=3)
+        radii = np.linalg.norm(data.values, axis=1)
+        assert radii.min() >= 0.8 - 1e-9
+        assert (data.values >= 0).all()
+
+    def test_anti_skyband_much_larger_than_ind(self):
+        """The property Figure 12 exploits: ANTI inflates the k-skyband."""
+        anti = anticorrelated(400, 2, seed=4)
+        ind = independent_uniform(400, 2, seed=4)
+        k = 4
+        anti_band = len(kskyband_indices(anti.values, k))
+        ind_band = len(kskyband_indices(ind.values, k))
+        assert anti_band > 3 * ind_band
+
+    def test_anti_invalid_radii(self):
+        with pytest.raises(ValueError):
+            anticorrelated(10, 2, inner_radius=1.0, outer_radius=0.5)
+
+    def test_correlated_validation(self):
+        with pytest.raises(ValueError):
+            correlated(10, 2, rho=1.5)
+
+    def test_dispatch(self):
+        assert synthetic_dataset("ind", 50).n == 50
+        assert synthetic_dataset("anti", 50).n == 50
+        assert synthetic_dataset("corr", 50).n == 50
+        with pytest.raises(ValueError):
+            synthetic_dataset("zipf", 50)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            independent_uniform(0, 2)
+
+
+class TestRPM:
+    def test_permutation_preserves_multiset(self):
+        values = np.array([3.0, 1.0, 2.0, 5.0])
+        scores = random_permutation_scores(4, seed=1, values=values)
+        assert sorted(scores.tolist()) == sorted(values.tolist())
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            random_permutation_scores(3, values=np.ones(5))
+
+    def test_default_values_distinct(self):
+        scores = random_permutation_scores(1000, seed=2)
+        assert len(np.unique(scores)) == 1000
+
+
+class TestNBA:
+    def test_shape_and_names(self):
+        data = generate_nba(1000, seed=1)
+        assert data.values.shape == (1000, 15)
+        assert data.attribute_names[0] == "points"
+        assert data.labels is not None
+        assert data.timestamps is not None
+
+    def test_deterministic(self):
+        a = generate_nba(200, seed=9)
+        b = generate_nba(200, seed=9)
+        assert np.array_equal(a.values, b.values)
+
+    def test_chronological_timestamps(self):
+        data = generate_nba(500, seed=2)
+        seasons = [int(ts.split("-")[0]) for ts in data.timestamps]
+        assert seasons == sorted(seasons)
+
+    def test_nonnegative_and_heavy_tail(self):
+        data = generate_nba(5000, seed=3)
+        assert (data.values >= 0).all()
+        points = data.values[:, 0]
+        # A meaningful upper tail: the max should dwarf the median.
+        assert points.max() > 4 * np.median(points)
+
+    def test_variants(self):
+        data = generate_nba(300, seed=4)
+        for x, names in NBA_VARIANTS.items():
+            sub = nba_variant(data, x)
+            assert sub.attribute_names == names
+        with pytest.raises(ValueError):
+            nba_variant(data, 4)
+
+    def test_points_consistency(self):
+        """points = 2*fgm + 3*threes + ftm by construction."""
+        data = generate_nba(400, seed=5)
+        idx = {a: i for i, a in enumerate(data.attribute_names)}
+        points = data.values[:, idx["points"]]
+        recomputed = (
+            2 * data.values[:, idx["field_goals_made"]]
+            + 3 * data.values[:, idx["three_pointers_made"]]
+            + data.values[:, idx["free_throws_made"]]
+        )
+        assert np.array_equal(points, recomputed)
+
+    def test_rebounds_split(self):
+        data = generate_nba(400, seed=6)
+        idx = {a: i for i, a in enumerate(data.attribute_names)}
+        total = data.values[:, idx["rebounds"]]
+        split = data.values[:, idx["offensive_rebounds"]] + data.values[:, idx["defensive_rebounds"]]
+        assert np.array_equal(total, split)
+
+
+class TestNetwork:
+    def test_shape_and_normalisation(self):
+        data = generate_network(2000, seed=1)
+        assert data.values.shape == (2000, 37)
+        assert data.values.min() >= 0.0
+        assert data.values.max() <= 1.0
+
+    def test_unnormalised_heavy_tail(self):
+        data = generate_network(3000, seed=2, normalise=False)
+        src = data.values[:, 1]
+        assert src.max() > 20 * np.median(src[src > 0])
+
+    def test_variants(self):
+        data = generate_network(500, seed=3)
+        for x in (2, 3, 5, 10, 20, 30, 37):
+            assert network_variant(data, x).d == x
+        with pytest.raises(ValueError):
+            network_variant(data, 38)
+
+    def test_anomaly_rate_validation(self):
+        with pytest.raises(ValueError):
+            generate_network(100, anomaly_rate=1.5)
+
+    def test_deterministic(self):
+        a = generate_network(300, seed=7)
+        b = generate_network(300, seed=7)
+        assert np.array_equal(a.values, b.values)

@@ -1,0 +1,25 @@
+"""Run every module's docstring examples as tests.
+
+Docs that drift from the code are worse than no docs; this keeps the
+inline examples honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_iter_modules()))
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module_name}"

@@ -1,0 +1,84 @@
+"""Unit tests for durability predicates and max-duration binary search."""
+
+import numpy as np
+import pytest
+
+from repro.core.durability import is_durable, max_durability
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.index.range_topk import ScoreArrayTopKIndex
+
+
+def brute_max_durability(scores, k, t):
+    """Largest tau such that < k records in [t - tau, t] beat scores[t]."""
+    best = 0
+    for tau in range(1, len(scores) + 1):
+        lo = max(0, t - tau)
+        greater = int(np.count_nonzero(scores[lo : t + 1] > scores[t]))
+        if greater < k:
+            best = tau
+        else:
+            break
+    # Durable at tau >= t means durable over all history.
+    return len(scores) if best >= t else best
+
+
+class TestIsDurable:
+    def test_top_record_always_durable(self):
+        scores = np.array([1.0, 2.0, 9.0, 3.0])
+        index = ScoreArrayTopKIndex(scores)
+        assert is_durable(index, 1, 2, 2)
+
+    def test_beaten_record_not_durable(self):
+        scores = np.array([9.0, 1.0])
+        index = ScoreArrayTopKIndex(scores)
+        assert not is_durable(index, 1, 1, 1)
+
+    def test_works_with_plain_index(self):
+        scores = np.array([1.0, 5.0, 2.0])
+        index = ScoreArrayTopKIndex(scores)
+        # Plain (non-counting) indexes take no `kind` kwarg.
+        assert is_durable(index, 2, 2, 2)
+
+
+class TestMaxDurability:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(71)
+        scores = rng.random(300)
+        index = ScoreArrayTopKIndex(scores)
+        for k in (1, 3):
+            for t in rng.integers(0, 300, 20):
+                t = int(t)
+                if not is_durable(index, k, t, 1):
+                    continue
+                assert max_durability(index, k, t) == brute_max_durability(scores, k, t), (k, t)
+
+    def test_global_max_durable_forever(self):
+        scores = np.array([1.0, 2.0, 9.0, 3.0, 4.0])
+        index = ScoreArrayTopKIndex(scores)
+        assert max_durability(index, 1, 2) == 5
+
+    def test_non_durable_record_raises(self):
+        scores = np.array([9.0, 1.0])
+        index = ScoreArrayTopKIndex(scores)
+        with pytest.raises(ValueError):
+            max_durability(index, 1, 1)
+
+    def test_respects_tau_min(self):
+        scores = np.array([1.0, 5.0, 4.0, 3.0, 6.0])
+        index = ScoreArrayTopKIndex(scores)
+        # Record 3 (score 3) is 1-durable? window [2,3] has 4 > 3 -> no.
+        with pytest.raises(ValueError):
+            max_durability(index, 1, 3, tau_min=1)
+
+
+class TestEngineDurations:
+    def test_durations_at_least_query_tau(self, small_ind, linear_2d):
+        engine = DurableTopKEngine(small_ind)
+        res = engine.query(
+            DurableTopKQuery(k=3, tau=40), linear_2d, algorithm="s-hop", with_durations=True
+        )
+        scores = linear_2d.scores(small_ind.values)
+        for t, dur in res.durations.items():
+            assert dur >= 40
+            assert dur == brute_max_durability(scores, 3, t)

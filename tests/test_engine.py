@@ -1,0 +1,167 @@
+"""Unit tests for the DurableTopKEngine facade and query types."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine, durable_topk
+from repro.core.query import Direction, DurableTopKQuery
+from repro.core.record import Dataset
+from repro.core.reference import brute_force_durable_topk
+from repro.scoring import LinearPreference
+
+
+class TestQueryValidation:
+    def test_k_and_tau_bounds(self):
+        with pytest.raises(ValueError):
+            DurableTopKQuery(k=0, tau=1)
+        with pytest.raises(ValueError):
+            DurableTopKQuery(k=1, tau=0)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            DurableTopKQuery(k=1, tau=1, interval=(5, 2))
+        with pytest.raises(ValueError):
+            DurableTopKQuery(k=1, tau=1, interval=(-1, 2))
+
+    def test_resolve_interval(self):
+        q = DurableTopKQuery(k=1, tau=1)
+        assert q.resolve_interval(10) == (0, 9)
+        q2 = DurableTopKQuery(k=1, tau=1, interval=(3, 100))
+        assert q2.resolve_interval(10) == (3, 9)
+        with pytest.raises(ValueError):
+            DurableTopKQuery(k=1, tau=1, interval=(20, 30)).resolve_interval(10)
+        with pytest.raises(ValueError):
+            q.resolve_interval(0)
+
+    def test_reversed_query(self):
+        q = DurableTopKQuery(k=2, tau=5, interval=(2, 6), direction=Direction.FUTURE)
+        r = q.reversed(10)
+        assert r.interval == (3, 7)
+        assert r.direction is Direction.PAST
+
+
+class TestEngine:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        rng = np.random.default_rng(61)
+        return Dataset(rng.random((400, 2)), name="engine-test")
+
+    @pytest.fixture(scope="class")
+    def scorer(self):
+        return LinearPreference([0.5, 0.5])
+
+    def test_invalid_index_method(self, dataset):
+        with pytest.raises(ValueError):
+            DurableTopKEngine(dataset, index_method="btree")
+
+    def test_unknown_algorithm(self, dataset, scorer):
+        engine = DurableTopKEngine(dataset)
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            engine.query(DurableTopKQuery(k=1, tau=10), scorer, algorithm="quantum")
+
+    def test_scorer_dimension_mismatch(self, dataset):
+        engine = DurableTopKEngine(dataset)
+        with pytest.raises(ValueError):
+            engine.query(DurableTopKQuery(k=1, tau=10), LinearPreference([1.0, 1.0, 1.0]))
+
+    def test_compare_returns_identical_answers(self, dataset, scorer):
+        engine = DurableTopKEngine(dataset, skyband_k_max=8)
+        results = engine.compare(DurableTopKQuery(k=3, tau=40), scorer)
+        assert set(results) == {"t-base", "t-hop", "s-base", "s-band", "s-hop"}
+        answers = {tuple(r.ids) for r in results.values()}
+        assert len(answers) == 1
+
+    def test_compare_skips_band_for_non_strict_scorers(self, dataset):
+        engine = DurableTopKEngine(dataset, skyband_k_max=8)
+        results = engine.compare(DurableTopKQuery(k=3, tau=40), LinearPreference([1.0, 0.0]))
+        assert "s-band" not in results
+        assert "t-hop" in results
+
+    def test_future_direction_mirror_equivalence(self, dataset, scorer):
+        engine = DurableTopKEngine(dataset)
+        res = engine.query(
+            DurableTopKQuery(k=2, tau=30, direction=Direction.FUTURE), scorer, algorithm="t-hop"
+        )
+        rev_scores = scorer.scores(dataset.values)[::-1]
+        expected = sorted(
+            399 - t for t in brute_force_durable_topk(rev_scores, 2, 0, 399, 30)
+        )
+        assert res.ids == expected
+
+    def test_future_with_interval(self, dataset, scorer):
+        engine = DurableTopKEngine(dataset)
+        res = engine.query(
+            DurableTopKQuery(k=2, tau=30, interval=(100, 250), direction=Direction.FUTURE),
+            scorer,
+            algorithm="s-hop",
+        )
+        assert all(100 <= t <= 250 for t in res.ids)
+        rev_scores = scorer.scores(dataset.values)[::-1]
+        expected = sorted(
+            399 - t
+            for t in brute_force_durable_topk(rev_scores, 2, 399 - 250, 399 - 100, 30)
+        )
+        assert res.ids == expected
+
+    def test_with_durations(self, dataset, scorer):
+        engine = DurableTopKEngine(dataset)
+        res = engine.query(
+            DurableTopKQuery(k=2, tau=25), scorer, algorithm="t-hop", with_durations=True
+        )
+        assert res.durations is not None
+        assert set(res.durations) == set(res.ids)
+        assert all(d >= 25 for d in res.durations.values())
+
+    def test_prepare_builds_offline_indexes(self, dataset, scorer):
+        engine = DurableTopKEngine(dataset, index_method="skyline_tree", skyband_k_max=4)
+        engine.prepare(["s-band"])
+        assert dataset.has_cached("skyline_tree")
+        assert dataset.has_cached("skyband_index")
+
+    def test_one_shot_helper(self, dataset, scorer):
+        res = durable_topk(dataset, scorer, k=1, tau=50)
+        expected = brute_force_durable_topk(scorer.scores(dataset.values), 1, 0, 399, 50)
+        assert res.ids == expected
+
+    def test_result_describe(self, dataset, scorer):
+        res = durable_topk(dataset, scorer, k=1, tau=50)
+        text = res.describe(dataset, scorer, limit=3)
+        assert "durable record" in text
+        assert "t=" in text
+
+
+class TestPreferenceCache:
+    @pytest.fixture()
+    def dataset(self):
+        rng = np.random.default_rng(62)
+        return Dataset(rng.random((500, 2)), name="cache-test")
+
+    def test_same_preference_reuses_index(self, dataset):
+        engine = DurableTopKEngine(dataset)
+        a = engine._bound_index(LinearPreference([0.5, 0.5]))
+        b = engine._bound_index(LinearPreference([0.5, 0.5]))
+        assert a is b
+
+    def test_different_preferences_do_not_collide(self, dataset):
+        engine = DurableTopKEngine(dataset)
+        a = engine._bound_index(LinearPreference([0.5, 0.5]))
+        b = engine._bound_index(LinearPreference([0.9, 0.1]))
+        assert a is not b
+
+    def test_lru_eviction(self, dataset):
+        engine = DurableTopKEngine(dataset)
+        first = engine._bound_index(LinearPreference([1.0, 0.0]))
+        for i in range(engine.PREFERENCE_CACHE_SIZE):
+            engine._bound_index(LinearPreference([1.0, float(i + 1)]))
+        again = engine._bound_index(LinearPreference([1.0, 0.0]))
+        assert again is not first  # evicted and rebuilt
+
+    def test_cached_queries_stay_correct(self, dataset):
+        from repro.core.reference import brute_force_durable_topk
+
+        engine = DurableTopKEngine(dataset)
+        scorer = LinearPreference([0.3, 0.7])
+        scores = scorer.scores(dataset.values)
+        for k, tau in ((1, 30), (3, 60), (5, 120)):  # same scorer, varied query
+            res = engine.query(DurableTopKQuery(k=k, tau=tau), scorer, algorithm="t-hop")
+            assert res.ids == brute_force_durable_topk(scores, k, 0, 499, tau)

@@ -1,0 +1,103 @@
+"""Tests for the Section V expectation formulas (Lemmas 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expected import (
+    empirical_answer_size,
+    expected_answer_size,
+    expected_candidate_bound,
+    expected_skyband_size,
+)
+from repro.data.synthetic import random_permutation_scores
+
+
+class TestExpectedAnswerSize:
+    def test_formula(self):
+        assert expected_answer_size(10, 1000, 99) == 100.0
+        assert expected_answer_size(1, 100, 1) == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_answer_size(0, 10, 5)
+        with pytest.raises(ValueError):
+            expected_answer_size(1, 10, 0)
+
+    def test_lemma4_on_rpm_data(self):
+        """E[|S|] = k|I|/(tau+1): empirical mean within 3 sigma-ish."""
+        n, k, tau = 4000, 3, 99
+        sizes = [
+            empirical_answer_size(random_permutation_scores(n, seed=s), k, tau)
+            for s in range(30)
+        ]
+        expected = expected_answer_size(k, n, tau)
+        observed = float(np.mean(sizes))
+        assert abs(observed - expected) < 0.15 * expected
+
+    def test_lemma4_distribution_free(self):
+        """The RPM expectation is independent of the adversary's values."""
+        n, k, tau = 3000, 2, 59
+        expected = expected_answer_size(k, n, tau)
+        for values in (
+            np.arange(n, dtype=float),
+            np.arange(n, dtype=float) ** 3,
+            np.exp(np.linspace(0, 20, n)),
+        ):
+            sizes = [
+                empirical_answer_size(
+                    random_permutation_scores(n, seed=s, values=values), k, tau
+                )
+                for s in range(20)
+            ]
+            assert abs(float(np.mean(sizes)) - expected) < 0.2 * expected
+
+
+class TestExpectedSkybandSize:
+    def test_one_dimension_is_k(self):
+        assert expected_skyband_size(100, 1, 5) == 5.0
+
+    def test_small_sets_fully_in_band(self):
+        assert expected_skyband_size(3, 2, 5) == 3.0
+
+    def test_zero_points(self):
+        assert expected_skyband_size(0, 3, 2) == 0.0
+
+    def test_grows_with_dimension(self):
+        sizes = [expected_skyband_size(1000, d, 2) for d in (1, 2, 3, 4)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_harmonic_recurrence_d2_k1(self):
+        """For k=1, d=2: A(m, 2) = H_m (the harmonic number)."""
+        m = 50
+        harmonic = float(np.sum(1.0 / np.arange(1, m + 1)))
+        assert expected_skyband_size(m, 2, 1) == pytest.approx(harmonic)
+
+    def test_matches_empirical_skyband(self):
+        """Expected size tracks measured k-skyband size on random data."""
+        from repro.index.skyline import kskyband_indices
+
+        rng = np.random.default_rng(80)
+        m, d, k = 400, 2, 3
+        measured = np.mean(
+            [len(kskyband_indices(rng.random((m, d)), k)) for _ in range(25)]
+        )
+        predicted = expected_skyband_size(m, d, k)
+        assert abs(measured - predicted) < 0.35 * predicted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_skyband_size(-1, 2, 1)
+        with pytest.raises(ValueError):
+            expected_skyband_size(5, 0, 1)
+
+
+class TestCandidateBound:
+    def test_shape_in_d(self):
+        b2 = expected_candidate_bound(5, 1000, 100, 2)
+        b5 = expected_candidate_bound(5, 1000, 100, 5)
+        assert b5 > b2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_candidate_bound(5, 1000, 0, 2)

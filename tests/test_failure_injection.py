@@ -1,0 +1,90 @@
+"""Failure-injection tests: malformed queries, degenerate data, bad input."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine, durable_topk
+from repro.core.query import DurableTopKQuery
+from repro.core.record import Dataset
+from repro.scoring import LinearPreference
+
+
+@pytest.fixture()
+def tiny():
+    return Dataset(np.array([[1.0], [3.0], [2.0]]), name="tiny")
+
+
+class TestDegenerateData:
+    def test_single_record_dataset(self):
+        data = Dataset(np.array([[5.0]]))
+        res = durable_topk(data, LinearPreference([1.0]), k=1, tau=1)
+        assert res.ids == [0]
+
+    def test_two_records_all_algorithms(self):
+        data = Dataset(np.array([[1.0], [2.0]]))
+        engine = DurableTopKEngine(data, skyband_k_max=2)
+        results = engine.compare(DurableTopKQuery(k=1, tau=1), LinearPreference([1.0]))
+        assert all(r.ids == [0, 1] for r in results.values())
+
+    def test_identical_records(self):
+        data = Dataset(np.ones((20, 2)))
+        engine = DurableTopKEngine(data, skyband_k_max=2)
+        results = engine.compare(
+            DurableTopKQuery(k=1, tau=5), LinearPreference([0.5, 0.5])
+        )
+        # Nothing strictly better anywhere: every record durable.
+        assert all(r.ids == list(range(20)) for r in results.values())
+
+    def test_strictly_decreasing_scores(self, tiny):
+        data = Dataset(np.arange(50, 0, -1, dtype=float)[:, None])
+        res = durable_topk(data, LinearPreference([1.0]), k=1, tau=10)
+        assert res.ids == [0]  # only the first record is ever on top
+
+    def test_strictly_increasing_scores(self):
+        data = Dataset(np.arange(50, dtype=float)[:, None])
+        res = durable_topk(data, LinearPreference([1.0]), k=1, tau=10)
+        assert res.ids == list(range(50))  # every record tops its window
+
+
+class TestMalformedQueries:
+    def test_k_larger_than_dataset(self, tiny):
+        res = durable_topk(tiny, LinearPreference([1.0]), k=100, tau=1)
+        assert res.ids == [0, 1, 2]
+
+    def test_tau_larger_than_dataset(self, tiny):
+        res = durable_topk(tiny, LinearPreference([1.0]), k=1, tau=1_000_000)
+        assert res.ids == [0, 1]  # record 2 (score 2) is beaten by record 1
+
+    def test_interval_entirely_outside(self, tiny):
+        with pytest.raises(ValueError):
+            durable_topk(tiny, LinearPreference([1.0]), k=1, tau=1, interval=(10, 20))
+
+    def test_interval_partially_outside_is_clamped(self, tiny):
+        res = durable_topk(tiny, LinearPreference([1.0]), k=1, tau=1, interval=(1, 99))
+        assert all(1 <= t <= 2 for t in res.ids)
+
+
+class TestBadScorers:
+    def test_nan_weights_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPreference([np.nan])
+
+    def test_inf_weights_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPreference([np.inf, 1.0])
+
+    def test_dimension_mismatch_fails_fast(self, tiny):
+        with pytest.raises(ValueError):
+            durable_topk(tiny, LinearPreference([1.0, 2.0]), k=1, tau=1)
+
+
+class TestBadDatasets:
+    def test_empty_dataset_query_fails(self):
+        data = Dataset(np.zeros((0, 2)).reshape(0, 2))
+        engine = DurableTopKEngine(data)
+        with pytest.raises(ValueError):
+            engine.query(DurableTopKQuery(k=1, tau=1), LinearPreference([1.0, 1.0]))
+
+    def test_values_coerced_to_float(self):
+        data = Dataset(np.array([[1], [2]], dtype=int))
+        assert data.values.dtype == np.float64

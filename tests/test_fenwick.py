@@ -1,0 +1,83 @@
+"""Unit tests for the Fenwick tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.fenwick import FenwickTree
+
+
+def test_empty_tree_sums_to_zero():
+    ft = FenwickTree(10)
+    assert ft.total() == 0
+    assert ft.prefix_sum(9) == 0
+
+
+def test_zero_size_tree_is_valid():
+    ft = FenwickTree(0)
+    assert ft.total() == 0
+    assert len(ft) == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        FenwickTree(-1)
+
+
+def test_single_add_and_prefix():
+    ft = FenwickTree(8)
+    ft.add(3)
+    assert ft.prefix_sum(2) == 0
+    assert ft.prefix_sum(3) == 1
+    assert ft.prefix_sum(7) == 1
+
+
+def test_add_with_delta():
+    ft = FenwickTree(4)
+    ft.add(1, 5)
+    ft.add(1, -2)
+    assert ft.prefix_sum(1) == 3
+
+
+def test_add_out_of_range_raises():
+    ft = FenwickTree(4)
+    with pytest.raises(IndexError):
+        ft.add(4)
+    with pytest.raises(IndexError):
+        ft.add(-1)
+
+
+def test_prefix_sum_clamps_out_of_range_indices():
+    ft = FenwickTree(4)
+    ft.add(0)
+    ft.add(3)
+    assert ft.prefix_sum(-5) == 0
+    assert ft.prefix_sum(100) == 2
+
+
+def test_range_sum_inclusive_bounds():
+    ft = FenwickTree(10)
+    for i in range(10):
+        ft.add(i)
+    assert ft.range_sum(2, 5) == 4
+    assert ft.range_sum(0, 9) == 10
+    assert ft.range_sum(5, 5) == 1
+
+
+def test_range_sum_empty_range():
+    ft = FenwickTree(10)
+    ft.add(5)
+    assert ft.range_sum(6, 4) == 0
+
+
+def test_matches_naive_counts_randomised():
+    rng = np.random.default_rng(0)
+    n = 200
+    ft = FenwickTree(n)
+    naive = np.zeros(n, dtype=int)
+    for _ in range(500):
+        i = int(rng.integers(0, n))
+        ft.add(i)
+        naive[i] += 1
+    for _ in range(200):
+        lo, hi = sorted(rng.integers(0, n, 2))
+        assert ft.range_sum(int(lo), int(hi)) == int(naive[lo : hi + 1].sum())

@@ -1,0 +1,137 @@
+"""Tests for the experiment harness, report formatting, and figure/table
+definitions (at toy scale — benchmarks run them at full scale)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine
+from repro.core.record import Dataset
+from repro.experiments.harness import (
+    AlgorithmRow,
+    default_parameters,
+    run_algorithm_suite,
+    run_sweep,
+)
+from repro.experiments.report import format_series, format_sweep, format_table
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(31)
+    return Dataset(rng.random((1_200, 2)), name="harness-test")
+
+
+class TestDefaults:
+    def test_default_parameters(self):
+        params = default_parameters(1000)
+        assert params["k"] == 10
+        assert params["tau"] == 100
+        assert params["interval"] == (500, 999)
+
+
+class TestRunAlgorithmSuite:
+    def test_rows_for_each_algorithm(self, dataset):
+        rows = run_algorithm_suite(dataset, algorithms=["t-hop", "s-hop"], n_preferences=2)
+        assert set(rows) == {"t-hop", "s-hop"}
+        for row in rows.values():
+            assert isinstance(row, AlgorithmRow)
+            assert row.runs == 2
+            assert row.mean_ms > 0
+            assert row.mean_answer_size > 0
+
+    def test_agreement_enforced(self, dataset, monkeypatch):
+        # Sabotage one algorithm: the harness must catch the mismatch.
+        from repro.core.algorithms import score_hop
+
+        original = score_hop.ScoreHop.run
+
+        def broken(self, ctx):
+            out = original(self, ctx)
+            return out[:-1] if out else out
+
+        monkeypatch.setattr(score_hop.ScoreHop, "run", broken)
+        with pytest.raises(AssertionError, match="disagreement"):
+            run_algorithm_suite(dataset, algorithms=["t-hop", "s-hop"], n_preferences=1)
+
+    def test_row_as_dict(self, dataset):
+        rows = run_algorithm_suite(dataset, algorithms=["t-hop"], n_preferences=1)
+        d = rows["t-hop"].as_dict()
+        assert d["algorithm"] == "t-hop"
+        assert "mean_ms" in d and "topk_queries" in d
+
+    def test_engine_reuse(self, dataset):
+        engine = DurableTopKEngine(dataset, skyband_k_max=4)
+        rows = run_algorithm_suite(
+            dataset, algorithms=["t-hop"], n_preferences=1, engine=engine
+        )
+        assert rows["t-hop"].runs == 1
+
+
+class TestRunSweep:
+    def test_tau_sweep_structure(self, dataset):
+        sweep = run_sweep(
+            dataset,
+            "tau_fraction",
+            [0.05, 0.25],
+            algorithms=["t-hop", "s-base"],
+            n_preferences=1,
+        )
+        assert sweep.parameter_values() == [0.05, 0.25]
+        series = sweep.series("mean_topk_queries")
+        assert len(series["t-hop"]) == 2
+        # More selective query, fewer top-k queries.
+        assert series["t-hop"][1] < series["t-hop"][0]
+
+    def test_k_sweep(self, dataset):
+        sweep = run_sweep(dataset, "k", [2, 6], algorithms=["t-hop"], n_preferences=1)
+        answers = sweep.series("mean_answer_size")["t-hop"]
+        assert answers[1] > answers[0]
+
+    def test_unknown_parameter(self, dataset):
+        with pytest.raises(ValueError):
+            run_sweep(dataset, "zoom", [1], algorithms=["t-hop"])
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bb": 22}, {"a": 333, "bb": 4}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"algo": [0.5, 1.5]}, title="T")
+        assert "T" in text
+        assert "0.50" in text and "1.50" in text
+
+    def test_format_sweep(self, dataset):
+        sweep = run_sweep(dataset, "k", [2], algorithms=["t-hop"], n_preferences=1)
+        text = format_sweep(sweep, metric="mean_ms")
+        assert "t-hop" in text
+
+
+class TestFigureDefinitionsToyScale:
+    def test_figure8_smoke(self):
+        from repro.data import nba_variant, generate_nba
+        from repro.experiments.figures import figure8_vary_tau
+
+        data = nba_variant(generate_nba(1_500, seed=1), 2)
+        fig = figure8_vary_tau(data, n_preferences=1)
+        assert "Figure 8" in fig.report
+        assert fig.data["sweep"].parameter_values()
+
+    def test_figure12_smoke(self):
+        from repro.experiments.figures import figure12_scalability
+
+        fig = figure12_scalability("ind", sizes=[800, 1_600], n_preferences=1)
+        assert "IND" in fig.report
+
+    def test_table6_smoke(self):
+        from repro.experiments.tables import table6_dbms_datasets
+
+        fig = table6_dbms_datasets(nba_n=1_500, syn_n=3_000)
+        assert "Table VI" in fig.report
+        assert len(fig.data["rows"]) == 3

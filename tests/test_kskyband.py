@@ -1,0 +1,113 @@
+"""Unit tests for the durable k-skyband duration index."""
+
+import numpy as np
+import pytest
+
+from repro.core.record import Dataset
+from repro.core.reference import brute_force_durable_topk
+from repro.index.kskyband import DurableSkybandIndex, dominator_times
+from repro.index.skyline import pareto_dominates
+from repro.scoring import LinearPreference
+
+
+def naive_dominator_times(values, k_max):
+    n = len(values)
+    out = np.full((n, k_max), -1, dtype=np.int64)
+    for i in range(n):
+        doms = [j for j in range(i - 1, -1, -1) if pareto_dominates(values[j], values[i])]
+        for slot, j in enumerate(doms[:k_max]):
+            out[i, slot] = j
+    return out
+
+
+class TestDominatorTimes:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(31)
+        values = rng.random((150, 2))
+        assert dominator_times(values, 4).tolist() == naive_dominator_times(values, 4).tolist()
+
+    def test_small_block_sizes_agree(self):
+        rng = np.random.default_rng(32)
+        values = rng.random((120, 3))
+        a = dominator_times(values, 3, block=5)
+        b = dominator_times(values, 3, block=1000)
+        assert a.tolist() == b.tolist()
+
+    def test_increasing_chain_has_no_dominators(self):
+        values = np.array([[float(i), float(i)] for i in range(10)])
+        times = dominator_times(values, 2)
+        assert (times == -1).all()
+
+    def test_decreasing_chain_all_dominated(self):
+        values = np.array([[float(10 - i), float(10 - i)] for i in range(10)])
+        times = dominator_times(values, 2)
+        # Record i's most recent dominator is i - 1.
+        assert times[5, 0] == 4
+        assert times[5, 1] == 3
+        assert times[0, 0] == -1
+
+
+class TestDurableSkybandIndex:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        rng = np.random.default_rng(33)
+        return Dataset(rng.random((300, 2)), name="skyband-test")
+
+    @pytest.fixture(scope="class")
+    def index(self, dataset):
+        return DurableSkybandIndex(dataset, k_max=5)
+
+    def test_kmax_rounded_to_power_of_two(self, index):
+        assert index.k_max == 8
+        assert index.levels == [1, 2, 4, 8]
+
+    def test_level_for(self, index):
+        assert index.level_for(1) == 1
+        assert index.level_for(3) == 4
+        assert index.level_for(8) == 8
+        with pytest.raises(ValueError):
+            index.level_for(9)
+        with pytest.raises(ValueError):
+            index.level_for(0)
+
+    def test_invalid_kmax(self, dataset):
+        with pytest.raises(ValueError):
+            DurableSkybandIndex(dataset, k_max=0)
+
+    def test_durations_monotone_in_k(self, index):
+        # A larger k can only extend a record's stay in the skyband.
+        for smaller, larger in ((1, 2), (2, 4), (4, 8)):
+            assert (index.durations(larger) >= index.durations(smaller)).all()
+
+    def test_duration_definition(self, dataset, index):
+        """tau_p must be the largest tau keeping p in its window k-skyband."""
+        values = dataset.values
+        k = 2
+        tau_table = index.durations(k)
+        rng = np.random.default_rng(34)
+        for t in rng.integers(1, 300, 25):
+            t = int(t)
+            tau_p = int(tau_table[t])
+            dominators = [
+                j for j in range(t - 1, -1, -1) if pareto_dominates(values[j], values[t])
+            ]
+            if len(dominators) < k:
+                assert tau_p == len(dataset)
+            else:
+                kth = dominators[k - 1]
+                assert tau_p == t - kth - 1
+
+    def test_candidates_superset_of_answers(self, dataset, index):
+        scorer = LinearPreference([0.5, 0.5])
+        scores = scorer.scores(dataset.values)
+        for k, tau in ((1, 30), (2, 50), (4, 20)):
+            answers = set(brute_force_durable_topk(scores, k, 50, 280, tau))
+            candidates = set(index.candidates(k, 50, 280, tau))
+            assert answers <= candidates
+
+    def test_candidates_respect_interval(self, index):
+        cands = index.candidates(2, 100, 150, 10)
+        assert all(100 <= t <= 150 for t in cands)
+
+    def test_candidate_count(self, index):
+        assert index.candidate_count(2, 0, 299, 5) == len(index.candidates(2, 0, 299, 5))

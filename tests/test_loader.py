@@ -1,0 +1,75 @@
+"""Tests for the CSV loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import load_csv
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    path = tmp_path / "games.csv"
+    path.write_text(
+        "date,player,points,assists,team\n"
+        "2003-01-02,Bob,30,5,East\n"
+        "2001-05-10,Ann,25,7,West\n"
+        "2002-03-03,Cat,40,2,East\n"
+    )
+    return path
+
+
+class TestLoadCSV:
+    def test_sorted_by_timestamp(self, csv_file):
+        data = load_csv(csv_file, timestamp_column="date", label_column="player")
+        assert data.timestamps == ["2001-05-10", "2002-03-03", "2003-01-02"]
+        assert data.labels == ["Ann", "Cat", "Bob"]
+
+    def test_numeric_columns_auto_detected(self, csv_file):
+        data = load_csv(csv_file, timestamp_column="date", label_column="player")
+        assert data.attribute_names == ["points", "assists"]  # team is text
+        assert data.values[0].tolist() == [25.0, 7.0]
+
+    def test_explicit_attribute_selection(self, csv_file):
+        data = load_csv(
+            csv_file, timestamp_column="date", attribute_columns=["assists"]
+        )
+        assert data.d == 1
+        assert data.values[:, 0].tolist() == [7.0, 2.0, 5.0]
+
+    def test_numeric_timestamps_parsed(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("ts,x\n3,1.0\n1,2.0\n2,3.0\n")
+        data = load_csv(path, timestamp_column="ts")
+        assert data.timestamps == [1.0, 2.0, 3.0]
+
+    def test_stable_tie_order(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("ts,x\n1,10\n1,20\n1,30\n")
+        data = load_csv(path, timestamp_column="ts")
+        assert data.values[:, 0].tolist() == [10.0, 20.0, 30.0]
+
+    def test_missing_columns_rejected(self, csv_file):
+        with pytest.raises(KeyError):
+            load_csv(csv_file, timestamp_column="when")
+        with pytest.raises(KeyError):
+            load_csv(csv_file, timestamp_column="date", label_column="nobody")
+        with pytest.raises(KeyError):
+            load_csv(csv_file, timestamp_column="date", attribute_columns=["goals"])
+
+    def test_non_numeric_attribute_rejected(self, csv_file):
+        with pytest.raises(ValueError, match="not numeric"):
+            load_csv(csv_file, timestamp_column="date", attribute_columns=["team"])
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("ts,x\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_csv(path, timestamp_column="ts")
+
+    def test_queryable_end_to_end(self, csv_file):
+        from repro import LinearPreference, durable_topk
+
+        data = load_csv(csv_file, timestamp_column="date", label_column="player")
+        res = durable_topk(data, LinearPreference([1.0, 0.0]), k=1, tau=2)
+        labels = [data.record(t).label for t in res.ids]
+        assert labels == ["Ann", "Cat"]  # Bob's 30 is under Cat's 40

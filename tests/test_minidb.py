@@ -1,0 +1,227 @@
+"""Tests for the MiniDB storage engine and its stored procedures."""
+
+import numpy as np
+import pytest
+
+from repro.core.record import Dataset
+from repro.core.reference import brute_force_durable_topk, brute_force_topk
+from repro.minidb import (
+    BufferPool,
+    HeapTable,
+    MiniDB,
+    Pager,
+    t_base_procedure,
+    t_hop_procedure,
+)
+
+
+class TestPager:
+    def test_page_roundtrip(self):
+        with Pager(page_size=256) as pager:
+            pid = pager.allocate()
+            pager.write_page(pid, b"hello")
+            data = pager.read_page(pid)
+            assert data[:5] == b"hello"
+            assert len(data) == 256
+
+    def test_short_writes_zero_padded(self):
+        with Pager(page_size=128) as pager:
+            pager.write_page(0, b"x")
+            assert pager.read_page(0)[1:] == b"\x00" * 127
+
+    def test_oversized_write_rejected(self):
+        with Pager(page_size=64) as pager:
+            with pytest.raises(ValueError):
+                pager.write_page(0, b"y" * 65)
+
+    def test_read_unallocated_rejected(self):
+        with Pager() as pager:
+            with pytest.raises(IndexError):
+                pager.read_page(0)
+
+    def test_counters(self):
+        with Pager(page_size=64) as pager:
+            pager.write_page(0, b"a")
+            pager.write_page(1, b"b")
+            pager.read_page(0)
+            assert pager.physical_writes == 2
+            assert pager.physical_reads == 1
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            Pager(page_size=16)
+
+
+class TestBufferPool:
+    def test_caches_repeated_reads(self):
+        with Pager(page_size=64) as pager:
+            pager.write_page(0, b"a")
+            pool = BufferPool(pager, capacity=2)
+            pool.get(0)
+            pool.get(0)
+            assert pool.logical_reads == 2
+            assert pool.physical_reads == 1
+            assert pool.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        with Pager(page_size=64) as pager:
+            for i in range(3):
+                pager.write_page(i, bytes([i]))
+            pool = BufferPool(pager, capacity=2)
+            pool.get(0)
+            pool.get(1)
+            pool.get(2)  # evicts 0
+            pool.get(0)  # miss again
+            assert pool.physical_reads == 4
+
+    def test_reset_and_clear(self):
+        with Pager(page_size=64) as pager:
+            pager.write_page(0, b"a")
+            pool = BufferPool(pager, capacity=2)
+            pool.get(0)
+            pool.reset_counters()
+            assert pool.logical_reads == 0
+            pool.clear()
+            pool.get(0)
+            assert pool.physical_reads == 1
+
+    def test_capacity_validation(self):
+        with Pager() as pager:
+            with pytest.raises(ValueError):
+                BufferPool(pager, capacity=0)
+
+
+class TestHeapTable:
+    @pytest.fixture()
+    def loaded(self):
+        pager = Pager(page_size=512)
+        pool = BufferPool(pager, capacity=8)
+        rng = np.random.default_rng(1)
+        values = rng.random((100, 3))
+        table = HeapTable.from_values(values, pager, pool)
+        yield table, values
+        pager.close()
+
+    def test_row_roundtrip(self, loaded):
+        table, values = loaded
+        for row_id in (0, 1, 50, 99):
+            assert np.allclose(table.read_row(row_id), values[row_id])
+
+    def test_read_rows_range(self, loaded):
+        table, values = loaded
+        out = table.read_rows(10, 40)
+        assert np.allclose(out, values[10:41])
+
+    def test_read_rows_clamps(self, loaded):
+        table, values = loaded
+        assert np.allclose(table.read_rows(-5, 3), values[:4])
+        assert table.read_rows(200, 300).shape == (0, 3)
+
+    def test_out_of_range_row(self, loaded):
+        table, _ = loaded
+        with pytest.raises(IndexError):
+            table.read_row(100)
+
+    def test_tuple_header_reduces_density(self):
+        pager = Pager(page_size=512)
+        pool = BufferPool(pager, capacity=4)
+        values = np.ones((10, 2))
+        dense = HeapTable.from_values(values, pager, pool, tuple_header_bytes=0)
+        padded_pager = Pager(page_size=512)
+        padded = HeapTable.from_values(
+            values, padded_pager, BufferPool(padded_pager, capacity=4), tuple_header_bytes=48
+        )
+        assert dense.rows_per_page > padded.rows_per_page
+        pager.close()
+        padded_pager.close()
+
+    def test_row_too_wide_rejected(self):
+        pager = Pager(page_size=64)
+        pool = BufferPool(pager, capacity=2)
+        with pytest.raises(ValueError):
+            HeapTable(pager, pool, d=64)
+        pager.close()
+
+
+class TestBlockIndexTopK:
+    @pytest.fixture(scope="class")
+    def db(self):
+        rng = np.random.default_rng(2)
+        data = Dataset(rng.random((3000, 2)), name="minidb-test")
+        db = MiniDB(data, buffer_pages=32, block_rows=64, fanout=4)
+        yield db
+        db.close()
+
+    def test_matches_brute_force(self, db):
+        rng = np.random.default_rng(3)
+        scores_u = np.array([0.3, 0.7])
+        scores = db.dataset.values @ scores_u
+        for _ in range(60):
+            lo, hi = sorted(rng.integers(0, 3000, 2))
+            k = int(rng.integers(1, 12))
+            assert db.topk(scores_u, k, int(lo), int(hi)) == brute_force_topk(
+                scores, k, int(lo), int(hi)
+            )
+
+    def test_ub_cache_gives_same_answers(self, db):
+        u = np.array([0.5, 0.5])
+        scores = db.dataset.values @ u
+        cache: dict = {}
+        for lo, hi, k in ((0, 2999, 5), (100, 900, 3), (2000, 2500, 8)):
+            assert db.topk(u, k, lo, hi, ub_cache=cache) == brute_force_topk(scores, k, lo, hi)
+
+    def test_empty_and_degenerate(self, db):
+        u = np.array([1.0, 0.0])
+        assert db.topk(u, 0, 0, 100) == []
+        assert db.topk(u, 5, 500, 400) == []
+        assert db.topk(u, 5, -10, -1) == []
+
+    def test_pages_counted(self, db):
+        db.reset_io(cold=True)
+        db.topk(np.array([0.9, 0.1]), 5, 0, 2999)
+        stats = db.io_stats()
+        assert stats["logical_reads"] > 0
+        assert stats["physical_reads"] > 0
+
+
+class TestStoredProcedures:
+    @pytest.fixture(scope="class")
+    def db(self):
+        rng = np.random.default_rng(4)
+        data = Dataset(rng.random((4000, 2)), name="proc-test")
+        db = MiniDB(data, buffer_pages=16, block_rows=64)
+        yield db
+        db.close()
+
+    @pytest.mark.parametrize("k,tau", [(1, 100), (5, 400), (10, 2000)])
+    def test_procedures_match_oracle(self, db, k, tau):
+        u = np.array([0.6, 0.4])
+        scores = db.dataset.values @ u
+        expected = brute_force_durable_topk(scores, k, 1000, 3999, tau)
+        hop = t_hop_procedure(db, u, k, tau, 1000, 3999)
+        base = t_base_procedure(db, u, k, tau, 1000, 3999)
+        assert hop.ids == expected
+        assert base.ids == expected
+
+    def test_hop_reads_fewer_pages_on_selective_query(self, db):
+        u = np.array([0.5, 0.5])
+        hop = t_hop_procedure(db, u, 5, 2000, 0, 3999)
+        base = t_base_procedure(db, u, 5, 2000, 0, 3999)
+        assert hop.logical_reads < base.logical_reads
+
+    def test_report_dict(self, db):
+        u = np.array([0.5, 0.5])
+        rep = t_hop_procedure(db, u, 2, 500, 1000, 2000)
+        d = rep.as_dict()
+        assert d["algorithm"] == "t-hop"
+        assert d["answer_size"] == len(rep.ids)
+        assert d["physical_reads"] >= 0
+
+    def test_empty_interval_rejected(self, db):
+        with pytest.raises(ValueError):
+            t_hop_procedure(db, np.array([1.0, 0.0]), 1, 10, 100, 50)
+
+    def test_storage_accounting(self, db):
+        assert db.storage_pages() > 0
+        assert db.storage_bytes() == db.storage_pages() * db.pager.page_size
+        assert db.n == 4000

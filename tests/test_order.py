@@ -1,0 +1,47 @@
+"""Tests for the canonical total order helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.order import beats, order_key, sort_ids_canonical
+
+
+class TestBeats:
+    def test_higher_score_wins(self):
+        assert beats(2.0, 0, 1.0, 5)
+        assert not beats(1.0, 5, 2.0, 0)
+
+    def test_tie_later_arrival_wins(self):
+        assert beats(1.0, 5, 1.0, 0)
+        assert not beats(1.0, 0, 1.0, 5)
+
+    def test_total_order_antisymmetric(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            sa, sb = rng.integers(0, 3, 2).astype(float)
+            ta, tb = rng.choice(50, 2, replace=False)
+            a_beats_b = beats(sa, int(ta), sb, int(tb))
+            b_beats_a = beats(sb, int(tb), sa, int(ta))
+            assert a_beats_b != b_beats_a  # exactly one wins
+
+    def test_order_key_matches_beats(self):
+        assert (order_key(2.0, 1) > order_key(1.0, 9)) == beats(2.0, 1, 1.0, 9)
+
+
+class TestSortIdsCanonical:
+    def test_sorts_descending_with_tie_break(self):
+        ids = np.array([10, 11, 12, 13])
+        scores = np.array([1.0, 3.0, 3.0, 0.5])
+        assert sort_ids_canonical(ids, scores).tolist() == [12, 11, 10, 13]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sort_ids_canonical(np.array([1]), np.array([1.0, 2.0]))
+
+    def test_consistent_with_beats(self):
+        rng = np.random.default_rng(1)
+        ids = np.arange(30)
+        scores = rng.integers(0, 4, 30).astype(float)
+        ordered = sort_ids_canonical(ids, scores).tolist()
+        for a, b in zip(ordered, ordered[1:]):
+            assert beats(scores[a], a, scores[b], b)

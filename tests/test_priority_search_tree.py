@@ -1,0 +1,70 @@
+"""Unit tests for the priority search tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.priority_search_tree import PrioritySearchTree
+
+
+def naive_3sided(points, x1, x2, y0):
+    return sorted(p for x, y, p in points if x1 <= x <= x2 and y >= y0)
+
+
+def test_empty_tree():
+    pst = PrioritySearchTree([])
+    assert len(pst) == 0
+    assert pst.query_3sided(0, 100, -10) == []
+
+
+def test_single_point():
+    pst = PrioritySearchTree([(5, 3, "a")])
+    assert pst.query_3sided(0, 10, 3) == ["a"]
+    assert pst.query_3sided(0, 10, 4) == []
+    assert pst.query_3sided(6, 10, 0) == []
+
+
+def test_inverted_x_range_is_empty():
+    pst = PrioritySearchTree([(1, 1, "a")])
+    assert pst.query_3sided(5, 2, 0) == []
+
+
+def test_boundaries_inclusive():
+    pst = PrioritySearchTree([(1, 5, "a"), (3, 5, "b")])
+    assert sorted(pst.query_3sided(1, 3, 5)) == ["a", "b"]
+
+
+def test_duplicate_coordinates():
+    pts = [(2, 2, i) for i in range(5)]
+    pst = PrioritySearchTree(pts)
+    assert sorted(pst.query_3sided(2, 2, 2)) == [0, 1, 2, 3, 4]
+    assert pst.query_3sided(2, 2, 3) == []
+
+
+def test_count_matches_query():
+    rng = np.random.default_rng(0)
+    pts = [(int(x), int(y), i) for i, (x, y) in enumerate(rng.integers(0, 50, (100, 2)))]
+    pst = PrioritySearchTree(pts)
+    assert pst.count_3sided(10, 30, 25) == len(pst.query_3sided(10, 30, 25))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 10, 64, 257])
+def test_matches_naive_randomised(n):
+    rng = np.random.default_rng(n)
+    pts = [
+        (float(x), float(y), i)
+        for i, (x, y) in enumerate(rng.integers(0, max(4, n // 2), (n, 2)))
+    ]
+    pst = PrioritySearchTree(pts)
+    for _ in range(100):
+        x1, x2 = sorted(rng.integers(-2, max(4, n // 2) + 2, 2))
+        y0 = float(rng.integers(-2, max(4, n // 2) + 2))
+        assert sorted(pst.query_3sided(float(x1), float(x2), y0)) == naive_3sided(
+            pts, x1, x2, y0
+        )
+
+
+def test_all_reported_when_y0_very_low():
+    rng = np.random.default_rng(7)
+    pts = [(float(x), float(y), i) for i, (x, y) in enumerate(rng.random((50, 2)))]
+    pst = PrioritySearchTree(pts)
+    assert sorted(pst.query_3sided(-1, 2, -1)) == list(range(50))

@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These generate adversarial inputs — tiny datasets, heavy ties, degenerate
+parameters — and assert the library-wide invariants: algorithm equivalence,
+complexity-bound compliance, and data-structure correctness against naive
+models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import BlockingIntervals
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.core.record import Dataset
+from repro.core.reference import brute_force_durable_topk, brute_force_topk
+from repro.index.fenwick import FenwickTree
+from repro.index.range_topk import ScoreArrayTopKIndex
+from repro.index.segment_tree import MaxSegmentTree
+from repro.index.skyline import kskyband_indices, pareto_dominates, skyline_indices
+from repro.scoring import LinearPreference
+
+# Score pools: floats (usually distinct) and small ints (heavy ties).
+float_scores = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=120
+)
+int_scores = st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=120)
+
+
+@st.composite
+def durable_query_case(draw, scores_strategy=float_scores):
+    scores = np.asarray(draw(scores_strategy), dtype=float)
+    n = len(scores)
+    k = draw(st.integers(min_value=1, max_value=8))
+    tau = draw(st.integers(min_value=1, max_value=max(1, 2 * n)))
+    lo = draw(st.integers(min_value=0, max_value=n - 1))
+    hi = draw(st.integers(min_value=lo, max_value=n - 1))
+    return scores, k, tau, lo, hi
+
+
+class TestAlgorithmEquivalenceProperties:
+    @given(case=durable_query_case())
+    @settings(max_examples=60, deadline=None)
+    def test_all_algorithms_match_oracle_float(self, case):
+        self._check(*case)
+
+    @given(case=durable_query_case(int_scores))
+    @settings(max_examples=60, deadline=None)
+    def test_all_algorithms_match_oracle_ties(self, case):
+        self._check(*case)
+
+    @staticmethod
+    def _check(scores, k, tau, lo, hi):
+        # 1-D dataset whose only attribute *is* the score.
+        data = Dataset(scores[:, None], name="prop")
+        scorer = LinearPreference([1.0])
+        expected = brute_force_durable_topk(scores, k, lo, hi, tau)
+        engine = DurableTopKEngine(data, skyband_k_max=8)
+        algorithms = ["t-base", "t-hop", "s-base", "s-hop"]
+        if k <= 8:
+            algorithms.append("s-band")
+        for name in algorithms:
+            res = engine.query(
+                DurableTopKQuery(k=k, tau=tau, interval=(lo, hi)), scorer, algorithm=name
+            )
+            assert res.ids == expected, (name, k, tau, lo, hi, scores.tolist())
+
+    @given(case=durable_query_case())
+    @settings(max_examples=40, deadline=None)
+    def test_hop_query_bound_holds(self, case):
+        """Lemma 1/3: top-k queries <= 2|S| + k*ceil(|I|/tau) + k."""
+        import math
+
+        scores, k, tau, lo, hi = case
+        data = Dataset(scores[:, None], name="prop")
+        scorer = LinearPreference([1.0])
+        engine = DurableTopKEngine(data, skyband_k_max=None)
+        bound_extra = k * math.ceil((hi - lo + 1) / tau) + k
+        for name in ("t-hop", "s-hop"):
+            res = engine.query(
+                DurableTopKQuery(k=k, tau=tau, interval=(lo, hi)), scorer, algorithm=name
+            )
+            assert res.stats.durability_topk_queries <= 2 * len(res.ids) + bound_extra
+
+
+class TestStructureProperties:
+    @given(
+        values=st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=200),
+        queries=st.lists(st.tuples(st.integers(0, 199), st.integers(0, 199)), max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_segment_tree_matches_numpy(self, values, queries):
+        st_tree = MaxSegmentTree(values)
+        arr = np.asarray(values)
+        for a, b in queries:
+            lo, hi = min(a, b), max(a, b)
+            hi = min(hi, len(values) - 1)
+            if lo > hi:
+                continue
+            assert st_tree.range_max(lo, hi) == arr[lo : hi + 1].max()
+
+    @given(
+        adds=st.lists(st.integers(0, 99), max_size=60),
+        probes=st.lists(st.integers(0, 99), max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fenwick_matches_counter(self, adds, probes):
+        ft = FenwickTree(100)
+        naive = np.zeros(100, dtype=int)
+        for a in adds:
+            ft.add(a)
+            naive[a] += 1
+        for p in probes:
+            assert ft.prefix_sum(p) == int(naive[: p + 1].sum())
+
+    @given(
+        lefts=st.lists(st.integers(0, 80), max_size=40),
+        tau=st.integers(1, 30),
+        probes=st.lists(st.integers(0, 99), max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_blocking_matches_interval_stabbing(self, lefts, tau, probes):
+        blocks = BlockingIntervals(100, tau)
+        distinct = set()
+        for left in lefts:
+            blocks.add(left)
+            distinct.add(left)
+        for t in probes:
+            naive = sum(1 for left in distinct if left <= t <= left + tau)
+            assert blocks.count_at(t) == naive
+
+    @given(
+        scores=st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=150),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_topk_matches_oracle(self, scores, k):
+        arr = np.asarray(scores)
+        index = ScoreArrayTopKIndex(arr)
+        n = len(arr)
+        assert index.topk(k, 0, n - 1) == brute_force_topk(arr, k, 0, n - 1)
+
+    @given(
+        pts=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_skyline_members_not_dominated(self, pts):
+        arr = np.asarray(pts, dtype=float)
+        sky = set(skyline_indices(arr).tolist())
+        for i in range(len(arr)):
+            dominated = any(
+                pareto_dominates(arr[j], arr[i]) for j in range(len(arr)) if j != i
+            )
+            assert (i in sky) == (not dominated)
+
+    @given(
+        pts=st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=1, max_size=60
+        ),
+        k=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kskyband_nested(self, pts, k):
+        arr = np.asarray(pts, dtype=float)
+        smaller = set(kskyband_indices(arr, k).tolist())
+        larger = set(kskyband_indices(arr, k + 1).tolist())
+        assert smaller <= larger
+
+
+class TestStreamingProperties:
+    @given(case=durable_query_case())
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_lookback_matches_oracle(self, case):
+        from repro.core.streaming import StreamingDurableMonitor
+
+        scores, k, tau, _, _ = case
+        monitor = StreamingDurableMonitor(k, tau)
+        for s in scores:
+            monitor.append(s)
+        n = len(scores)
+        assert monitor.durable_ids == brute_force_durable_topk(scores, k, 0, n - 1, tau)
+
+    @given(case=durable_query_case(int_scores))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_lookahead_matches_reversed_oracle(self, case):
+        from repro.core.streaming import StreamingDurableMonitor
+
+        scores, k, tau, _, _ = case
+        monitor = StreamingDurableMonitor(k, tau, track_lookahead=True)
+        resolutions = []
+        for s in scores:
+            resolutions.extend(monitor.append(s)[1])
+        resolutions.extend(monitor.finish())
+        n = len(scores)
+        survivors = sorted(r.t for r in resolutions if r.durable)
+        rev = brute_force_durable_topk(scores[::-1], k, 0, n - 1, tau)
+        assert survivors == sorted(n - 1 - t for t in rev)
+        # Exactly one resolution per record.
+        assert sorted(r.t for r in resolutions) == list(range(n))
+
+
+class TestSemanticProperties:
+    @given(case=durable_query_case())
+    @settings(max_examples=40, deadline=None)
+    def test_durable_set_antitone_in_tau(self, case):
+        scores, k, tau, lo, hi = case
+        bigger = set(brute_force_durable_topk(scores, k, lo, hi, tau))
+        smaller = set(brute_force_durable_topk(scores, k, lo, hi, tau + 5))
+        assert smaller <= bigger
+
+    @given(case=durable_query_case())
+    @settings(max_examples=40, deadline=None)
+    def test_durable_set_monotone_in_k(self, case):
+        scores, k, tau, lo, hi = case
+        smaller = set(brute_force_durable_topk(scores, k, lo, hi, tau))
+        bigger = set(brute_force_durable_topk(scores, k + 1, lo, hi, tau))
+        assert smaller <= bigger
+
+    @given(scores=float_scores)
+    @settings(max_examples=30, deadline=None)
+    def test_global_argmax_always_durable(self, scores):
+        arr = np.asarray(scores)
+        n = len(arr)
+        # Canonical winner: max score, latest arrival among ties.
+        best = n - 1 - int(np.argmax(arr[::-1]))
+        out = brute_force_durable_topk(arr, 1, 0, n - 1, n)
+        assert best in out

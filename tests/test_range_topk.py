@@ -1,0 +1,77 @@
+"""Unit tests for the score-array range top-k building block."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import brute_force_topk
+from repro.index.range_topk import ScoreArrayTopKIndex
+
+
+@pytest.fixture(scope="module")
+def scores():
+    rng = np.random.default_rng(3)
+    return rng.random(500)
+
+
+@pytest.fixture(scope="module")
+def index(scores):
+    return ScoreArrayTopKIndex(scores)
+
+
+def test_rejects_bad_input():
+    with pytest.raises(ValueError):
+        ScoreArrayTopKIndex(np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        ScoreArrayTopKIndex(np.array([1.0, np.nan]))
+
+
+def test_top1_matches_argmax(scores, index):
+    assert index.top1(0, 499) == int(np.argmax(scores))
+    assert index.top1(700, 900) is None
+
+
+def test_topk_empty_cases(index):
+    assert index.topk(0, 0, 499) == []
+    assert index.topk(5, 300, 200) == []
+    assert index.topk(5, 600, 700) == []
+
+
+def test_topk_more_than_range(index):
+    out = index.topk(50, 10, 14)
+    assert sorted(out) == [10, 11, 12, 13, 14]
+
+
+def test_topk_is_sorted_best_first(scores, index):
+    out = index.topk(20, 50, 400)
+    out_scores = scores[out]
+    assert all(out_scores[i] >= out_scores[i + 1] for i in range(len(out) - 1))
+
+
+def test_matches_brute_force_randomised(scores, index):
+    rng = np.random.default_rng(4)
+    for _ in range(200):
+        lo, hi = sorted(rng.integers(0, 500, 2))
+        k = int(rng.integers(1, 20))
+        assert index.topk(k, int(lo), int(hi)) == brute_force_topk(scores, k, int(lo), int(hi))
+
+
+def test_tie_break_later_arrival_wins():
+    scores = np.array([2.0, 5.0, 5.0, 1.0, 5.0])
+    index = ScoreArrayTopKIndex(scores)
+    assert index.topk(3, 0, 4) == [4, 2, 1]
+    assert index.topk(5, 0, 4) == [4, 2, 1, 0, 3]
+
+
+def test_matches_brute_force_with_ties():
+    rng = np.random.default_rng(5)
+    scores = rng.integers(0, 6, 300).astype(float)
+    index = ScoreArrayTopKIndex(scores)
+    for _ in range(150):
+        lo, hi = sorted(rng.integers(0, 300, 2))
+        k = int(rng.integers(1, 12))
+        assert index.topk(k, int(lo), int(hi)) == brute_force_topk(scores, k, int(lo), int(hi))
+
+
+def test_score_accessor(scores, index):
+    assert index.score(17) == pytest.approx(float(scores[17]))
+    assert index.n == 500

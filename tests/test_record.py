@@ -1,0 +1,132 @@
+"""Unit tests for the Record/Dataset model."""
+
+import numpy as np
+import pytest
+
+from repro.core.record import Dataset, Record
+
+
+class TestDatasetConstruction:
+    def test_basic(self):
+        data = Dataset(np.ones((5, 3)), name="x")
+        assert data.n == 5
+        assert data.d == 3
+        assert len(data) == 5
+        assert data.attribute_names == ["x0", "x1", "x2"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Dataset(np.ones(5))
+
+    def test_rejects_nan(self):
+        values = np.ones((3, 2))
+        values[1, 0] = np.nan
+        with pytest.raises(ValueError):
+            Dataset(values)
+
+    def test_rejects_inf(self):
+        values = np.ones((3, 2))
+        values[2, 1] = np.inf
+        with pytest.raises(ValueError):
+            Dataset(values)
+
+    def test_length_mismatches(self):
+        with pytest.raises(ValueError):
+            Dataset(np.ones((3, 2)), timestamps=[1, 2])
+        with pytest.raises(ValueError):
+            Dataset(np.ones((3, 2)), labels=["a"])
+        with pytest.raises(ValueError):
+            Dataset(np.ones((3, 2)), attribute_names=["only-one"])
+
+    def test_from_records_sorts_by_timestamp(self):
+        rows = [(2010, [1.0]), (1995, [2.0]), (2005, [3.0])]
+        data = Dataset.from_records(rows)
+        assert data.timestamps == [1995, 2005, 2010]
+        assert data.values[:, 0].tolist() == [2.0, 3.0, 1.0]
+
+    def test_from_records_stable_on_ties(self):
+        rows = [(2000, [1.0]), (2000, [2.0]), (1999, [3.0])]
+        data = Dataset.from_records(rows, labels=["a", "b", "c"])
+        assert data.labels == ["c", "a", "b"]
+
+
+class TestRecordAccess:
+    def test_record_fields(self):
+        data = Dataset(
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+            timestamps=["t0", "t1"],
+            labels=["A", "B"],
+        )
+        rec = data.record(1)
+        assert isinstance(rec, Record)
+        assert rec.t == 1
+        assert rec.values == (3.0, 4.0)
+        assert rec[0] == 3.0
+        assert rec.d == 2
+        assert rec.timestamp == "t1"
+        assert rec.label == "B"
+
+    def test_record_out_of_range(self):
+        data = Dataset(np.ones((2, 1)))
+        with pytest.raises(IndexError):
+            data.record(2)
+        with pytest.raises(IndexError):
+            data.record(-1)
+
+    def test_records_bulk(self):
+        data = Dataset(np.arange(10, dtype=float).reshape(5, 2))
+        recs = data.records([0, 4])
+        assert [r.t for r in recs] == [0, 4]
+
+
+class TestViews:
+    def test_select_attributes_by_index(self):
+        data = Dataset(np.arange(12, dtype=float).reshape(4, 3), attribute_names=["a", "b", "c"])
+        sub = data.select_attributes([2, 0])
+        assert sub.attribute_names == ["c", "a"]
+        assert sub.values[:, 0].tolist() == data.values[:, 2].tolist()
+
+    def test_select_attributes_by_name(self):
+        data = Dataset(np.arange(12, dtype=float).reshape(4, 3), attribute_names=["a", "b", "c"])
+        sub = data.select_attributes(["b"])
+        assert sub.d == 1
+
+    def test_select_unknown_name(self):
+        data = Dataset(np.ones((2, 2)), attribute_names=["a", "b"])
+        with pytest.raises(KeyError):
+            data.select_attributes(["z"])
+
+    def test_select_empty(self):
+        data = Dataset(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            data.select_attributes([])
+
+    def test_prefix(self):
+        data = Dataset(np.arange(10, dtype=float).reshape(5, 2))
+        assert data.prefix(3).n == 3
+        with pytest.raises(ValueError):
+            data.prefix(0)
+        with pytest.raises(ValueError):
+            data.prefix(6)
+
+    def test_reversed_roundtrip(self):
+        data = Dataset(np.arange(8, dtype=float).reshape(4, 2), timestamps=[1, 2, 3, 4])
+        rev = data.reversed()
+        assert rev.values[0].tolist() == data.values[-1].tolist()
+        assert rev.timestamps == [4, 3, 2, 1]
+        back = rev.reversed()
+        assert back.values.tolist() == data.values.tolist()
+
+    def test_reversed_is_cached(self):
+        data = Dataset(np.ones((3, 1)))
+        assert data.reversed() is data.reversed()
+
+
+class TestCache:
+    def test_cache_roundtrip(self):
+        data = Dataset(np.ones((2, 2)))
+        assert not data.has_cached("k")
+        assert data.get_cached("k") is None
+        data.set_cached("k", 42)
+        assert data.has_cached("k")
+        assert data.get_cached("k") == 42

@@ -1,0 +1,91 @@
+"""Unit tests for the brute-force oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import (
+    brute_force_durable_topk,
+    brute_force_inclusive_durable_topk,
+    brute_force_topk,
+    strictly_better_counts,
+)
+
+
+class TestBruteForceTopK:
+    def test_simple(self):
+        scores = np.array([1.0, 9.0, 5.0, 7.0])
+        assert brute_force_topk(scores, 2, 0, 3) == [1, 3]
+
+    def test_tie_later_arrival_wins(self):
+        scores = np.array([5.0, 5.0, 1.0])
+        assert brute_force_topk(scores, 1, 0, 2) == [1]
+        assert brute_force_topk(scores, 2, 0, 2) == [1, 0]
+
+    def test_clamping_and_degenerate(self):
+        scores = np.array([1.0, 2.0])
+        assert brute_force_topk(scores, 3, -5, 10) == [1, 0]
+        assert brute_force_topk(scores, 0, 0, 1) == []
+        assert brute_force_topk(scores, 2, 5, 9) == []
+
+
+class TestStrictlyBetterCounts:
+    def test_monotone_decreasing_sequence(self):
+        scores = np.array([5.0, 4.0, 3.0, 2.0])
+        counts = strictly_better_counts(scores, tau=3, lo=0, hi=3)
+        assert counts.tolist() == [0, 1, 2, 3]
+
+    def test_window_clipping_at_zero(self):
+        scores = np.array([1.0, 5.0, 3.0])
+        counts = strictly_better_counts(scores, tau=10, lo=0, hi=2)
+        assert counts.tolist() == [0, 0, 1]
+
+    def test_ties_do_not_count(self):
+        scores = np.array([4.0, 4.0, 4.0])
+        counts = strictly_better_counts(scores, tau=2, lo=0, hi=2)
+        assert counts.tolist() == [0, 0, 0]
+
+
+class TestBruteForceDurable:
+    def test_known_example(self):
+        # Scores: a record is durable(k=1, tau=2) iff it beats the 2 before.
+        scores = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 2.0])
+        assert brute_force_durable_topk(scores, 1, 0, 5, 2) == [0, 2, 4]
+
+    def test_k_covers_everything(self):
+        scores = np.array([1.0, 2.0, 3.0])
+        assert brute_force_durable_topk(scores, 3, 0, 2, 2) == [0, 1, 2]
+
+    def test_interval_restricts_output(self):
+        scores = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 2.0])
+        assert brute_force_durable_topk(scores, 1, 3, 5, 2) == [4]
+
+    def test_empty_interval(self):
+        scores = np.array([1.0, 2.0])
+        assert brute_force_durable_topk(scores, 1, 5, 9, 1) == []
+
+    def test_inclusive_semantics_coincide_for_lookback(self):
+        rng = np.random.default_rng(41)
+        scores = rng.integers(0, 8, 200).astype(float)
+        for k, tau in ((1, 5), (3, 20), (5, 50)):
+            assert brute_force_durable_topk(scores, k, 0, 199, tau) == (
+                brute_force_inclusive_durable_topk(scores, k, 0, 199, tau)
+            )
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(42)
+        scores = rng.random(150)
+        prev: set[int] = set()
+        for k in (1, 2, 4, 8):
+            cur = set(brute_force_durable_topk(scores, k, 0, 149, 25))
+            assert prev <= cur
+            prev = cur
+
+    def test_antitone_in_tau(self):
+        rng = np.random.default_rng(43)
+        scores = rng.random(150)
+        prev = None
+        for tau in (5, 10, 20, 40, 80):
+            cur = set(brute_force_durable_topk(scores, 3, 0, 149, tau))
+            if prev is not None:
+                assert cur <= prev
+            prev = cur

@@ -1,0 +1,114 @@
+"""Unit tests for scoring functions."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import (
+    CosinePreference,
+    LinearPreference,
+    MonotonePreference,
+    SingleAttribute,
+    random_preference,
+)
+
+
+class TestLinearPreference:
+    def test_scores(self):
+        scorer = LinearPreference([2.0, 1.0])
+        values = np.array([[1.0, 1.0], [0.0, 3.0]])
+        assert scorer.scores(values).tolist() == [3.0, 3.0]
+
+    def test_score_point(self):
+        scorer = LinearPreference([0.5, 0.5])
+        assert scorer.score_point(np.array([2.0, 4.0])) == pytest.approx(3.0)
+
+    def test_monotone_flag(self):
+        assert LinearPreference([1.0, 0.0]).is_monotone
+        assert not LinearPreference([1.0, -1.0]).is_monotone
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearPreference([])
+        with pytest.raises(ValueError):
+            LinearPreference([np.nan, 1.0])
+        with pytest.raises(ValueError):
+            LinearPreference([[1.0], [2.0]])
+        scorer = LinearPreference([1.0, 2.0])
+        with pytest.raises(ValueError):
+            scorer.validate_for(3)
+        scorer.validate_for(2)  # no raise
+
+
+class TestMonotonePreference:
+    def test_log_transform(self):
+        scorer = MonotonePreference([1.0], transform=np.log1p)
+        assert scorer.scores(np.array([[np.e - 1.0]]))[0] == pytest.approx(1.0)
+
+    def test_preserves_domination_order(self):
+        scorer = MonotonePreference([0.5, 0.5])
+        better = scorer.score_point(np.array([3.0, 3.0]))
+        worse = scorer.score_point(np.array([2.0, 3.0]))
+        assert better > worse
+
+    def test_custom_transform(self):
+        scorer = MonotonePreference([1.0, 1.0], transform=np.sqrt, transform_name="sqrt")
+        assert scorer.scores(np.array([[4.0, 9.0]]))[0] == pytest.approx(5.0)
+        assert "sqrt" in scorer.name
+
+    def test_validate_for(self):
+        with pytest.raises(ValueError):
+            MonotonePreference([1.0]).validate_for(2)
+
+
+class TestCosinePreference:
+    def test_unit_alignment(self):
+        scorer = CosinePreference([1.0, 0.0])
+        values = np.array([[5.0, 0.0], [1.0, 1.0], [0.0, 2.0]])
+        out = scorer.scores(values)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(np.sqrt(0.5))
+        assert out[2] == pytest.approx(0.0)
+
+    def test_zero_record_scores_zero(self):
+        scorer = CosinePreference([1.0, 1.0])
+        assert scorer.scores(np.zeros((1, 2)))[0] == 0.0
+
+    def test_not_monotone(self):
+        assert not CosinePreference([1.0, 1.0]).is_monotone
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            CosinePreference([0.0, 0.0])
+
+    def test_magnitude_invariance(self):
+        scorer = CosinePreference([0.3, 0.7])
+        a = scorer.score_point(np.array([1.0, 2.0]))
+        b = scorer.score_point(np.array([10.0, 20.0]))
+        assert a == pytest.approx(b)
+
+
+class TestSingleAttribute:
+    def test_picks_dimension(self):
+        scorer = SingleAttribute(1)
+        assert scorer.scores(np.array([[1.0, 9.0]]))[0] == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleAttribute(-1)
+        with pytest.raises(ValueError):
+            SingleAttribute(3).validate_for(2)
+
+
+class TestRandomPreference:
+    def test_normalised_and_nonnegative(self, rng):
+        for kind in ("uniform", "dirichlet"):
+            u = random_preference(rng, 5, kind=kind)
+            assert u.shape == (5,)
+            assert np.all(u >= 0)
+            assert u.sum() == pytest.approx(1.0)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            random_preference(rng, 0)
+        with pytest.raises(ValueError):
+            random_preference(rng, 3, kind="bogus")

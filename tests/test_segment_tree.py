@@ -1,0 +1,89 @@
+"""Unit tests for the max segment tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.segment_tree import MaxSegmentTree
+
+
+def test_basic_range_max():
+    st = MaxSegmentTree([1.0, 5.0, 3.0, 2.0])
+    assert st.range_max(0, 3) == 5.0
+    assert st.range_max(2, 3) == 3.0
+    assert st.range_argmax(0, 3) == 1
+
+
+def test_tie_breaks_to_later_index():
+    st = MaxSegmentTree([9.0, 4.0, 9.0, 9.0, 1.0])
+    assert st.range_argmax(0, 4) == 3
+    assert st.range_argmax(0, 2) == 2
+    assert st.range_argmax(0, 0) == 0
+
+
+def test_empty_tree():
+    st = MaxSegmentTree([])
+    assert len(st) == 0
+    assert st.range_max_with_argmax(0, 10) == (float("-inf"), -1)
+
+
+def test_single_element():
+    st = MaxSegmentTree([7.5])
+    assert st.range_max(0, 0) == 7.5
+    assert st.range_argmax(-3, 12) == 0  # clamped
+
+
+def test_out_of_range_is_clamped():
+    st = MaxSegmentTree([1.0, 2.0, 3.0])
+    assert st.range_max(-10, 100) == 3.0
+    assert st.range_max(5, 9) == float("-inf")
+    assert st.range_argmax(2, 1) == -1
+
+
+def test_update_propagates():
+    st = MaxSegmentTree([1.0, 2.0, 3.0, 4.0])
+    st.update(0, 10.0)
+    assert st.range_argmax(0, 3) == 0
+    st.update(0, 0.0)
+    assert st.range_argmax(0, 3) == 3
+    assert st.value_at(0) == 0.0
+
+
+def test_update_out_of_range_raises():
+    st = MaxSegmentTree([1.0])
+    with pytest.raises(IndexError):
+        st.update(1, 2.0)
+    with pytest.raises(IndexError):
+        st.value_at(-1)
+
+
+def test_non_power_of_two_sizes():
+    for n in (1, 2, 3, 5, 7, 13, 100, 257):
+        values = [float((i * 7919) % 1000) for i in range(n)]
+        st = MaxSegmentTree(values)
+        assert st.range_max(0, n - 1) == max(values)
+
+
+def test_matches_naive_randomised():
+    rng = np.random.default_rng(1)
+    values = rng.random(317)
+    st = MaxSegmentTree(values)
+    for _ in range(300):
+        lo, hi = sorted(rng.integers(0, 317, 2))
+        lo, hi = int(lo), int(hi)
+        window = values[lo : hi + 1]
+        assert st.range_max(lo, hi) == pytest.approx(window.max())
+        # Tie-break convention: later index wins.
+        expected_arg = lo + int(np.flatnonzero(window == window.max()).max())
+        assert st.range_argmax(lo, hi) == expected_arg
+
+
+def test_matches_naive_with_duplicates():
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, 5, 200).astype(float)
+    st = MaxSegmentTree(values)
+    for _ in range(200):
+        lo, hi = sorted(rng.integers(0, 200, 2))
+        lo, hi = int(lo), int(hi)
+        window = values[lo : hi + 1]
+        expected_arg = lo + int(np.flatnonzero(window == window.max()).max())
+        assert st.range_argmax(lo, hi) == expected_arg

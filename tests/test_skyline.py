@@ -1,0 +1,126 @@
+"""Unit tests for skyline and k-skyband computation."""
+
+import numpy as np
+import pytest
+
+from repro.index.skyline import (
+    dominator_counts,
+    kskyband_indices,
+    pareto_dominates,
+    skyline_indices,
+)
+
+
+def naive_dominator_counts(points: np.ndarray) -> np.ndarray:
+    n = len(points)
+    counts = np.zeros(n, dtype=int)
+    for i in range(n):
+        for j in range(n):
+            if i != j and pareto_dominates(points[j], points[i]):
+                counts[i] += 1
+    return counts
+
+
+class TestParetoDominates:
+    def test_strict_domination(self):
+        assert pareto_dominates(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+
+    def test_weak_domination(self):
+        assert pareto_dominates(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not pareto_dominates(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_incomparable(self):
+        assert not pareto_dominates(np.array([2.0, 0.0]), np.array([0.0, 2.0]))
+        assert not pareto_dominates(np.array([0.0, 2.0]), np.array([2.0, 0.0]))
+
+
+class TestSkyline:
+    def test_simple_2d(self):
+        pts = np.array([[1.0, 4.0], [3.0, 3.0], [2.0, 2.0], [0.5, 0.5]])
+        assert skyline_indices(pts).tolist() == [0, 1]
+
+    def test_empty(self):
+        assert skyline_indices(np.zeros((0, 2))).tolist() == []
+
+    def test_single_point(self):
+        assert skyline_indices(np.array([[1.0, 1.0]])).tolist() == [0]
+
+    def test_all_identical_points_all_kept(self):
+        pts = np.ones((5, 2))
+        assert skyline_indices(pts).tolist() == [0, 1, 2, 3, 4]
+
+    def test_chain_keeps_only_top(self):
+        pts = np.array([[float(i), float(i)] for i in range(10)])
+        assert skyline_indices(pts).tolist() == [9]
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            skyline_indices(np.array([1.0, 2.0]))
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_matches_naive_random(self, d):
+        rng = np.random.default_rng(d)
+        pts = rng.random((120, d))
+        expected = np.nonzero(naive_dominator_counts(pts) == 0)[0]
+        assert skyline_indices(pts).tolist() == expected.tolist()
+
+    def test_2d_with_ties_matches_naive(self):
+        rng = np.random.default_rng(8)
+        pts = rng.integers(0, 5, (100, 2)).astype(float)
+        expected = np.nonzero(naive_dominator_counts(pts) == 0)[0]
+        assert skyline_indices(pts).tolist() == expected.tolist()
+
+
+class TestKSkyband:
+    def test_k1_is_skyline(self):
+        rng = np.random.default_rng(9)
+        pts = rng.random((80, 3))
+        assert kskyband_indices(pts, 1).tolist() == skyline_indices(pts).tolist()
+
+    def test_k_grows_monotonically(self):
+        rng = np.random.default_rng(10)
+        pts = rng.random((100, 2))
+        prev: set[int] = set()
+        for k in (1, 2, 4, 8):
+            band = set(kskyband_indices(pts, k).tolist())
+            assert prev <= band
+            prev = band
+
+    def test_large_k_includes_everything(self):
+        rng = np.random.default_rng(11)
+        pts = rng.random((50, 2))
+        assert kskyband_indices(pts, 50).tolist() == list(range(50))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kskyband_indices(np.ones((3, 2)), 0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_matches_naive(self, k):
+        rng = np.random.default_rng(12 + k)
+        pts = rng.random((90, 2))
+        expected = np.nonzero(naive_dominator_counts(pts) < k)[0]
+        assert kskyband_indices(pts, k).tolist() == expected.tolist()
+
+
+class TestDominatorCounts:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(13)
+        pts = rng.random((70, 3))
+        assert dominator_counts(pts).tolist() == naive_dominator_counts(pts).tolist()
+
+    def test_cap_limits_counts(self):
+        pts = np.array([[float(i)] * 2 for i in range(20)])
+        counts = dominator_counts(pts, cap=3)
+        assert counts.max() == 3
+        assert counts[-1] == 0
+
+    def test_small_blocks_agree(self):
+        rng = np.random.default_rng(14)
+        pts = rng.random((65, 2))
+        assert (
+            dominator_counts(pts, block=7).tolist()
+            == dominator_counts(pts, block=1000).tolist()
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for the Appendix-A skyline tree top-k index."""
+
+import numpy as np
+import pytest
+
+from repro.core.record import Dataset
+from repro.core.reference import brute_force_topk
+from repro.index.skyline_tree import SkylineTree
+from repro.scoring import CosinePreference, LinearPreference
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(21)
+    return Dataset(rng.random((700, 3)), name="tree-test")
+
+
+@pytest.fixture(scope="module")
+def tree(dataset):
+    return SkylineTree(dataset, length_threshold=16)
+
+
+def test_invalid_threshold(dataset):
+    with pytest.raises(ValueError):
+        SkylineTree(dataset, length_threshold=0)
+
+
+def test_rejects_non_monotone_scorer(tree):
+    with pytest.raises(ValueError):
+        tree.bind(CosinePreference([1.0, 1.0, 1.0]))
+
+
+def test_node_count_is_linear(dataset, tree):
+    # ~2 * n / threshold nodes for a leaf threshold of 16.
+    assert tree.node_count() <= 4 * (len(dataset) // 16 + 1)
+
+
+def test_topk_matches_brute_force(dataset, tree):
+    rng = np.random.default_rng(22)
+    scorer = LinearPreference([0.2, 0.5, 0.3])
+    scores = scorer.scores(dataset.values)
+    index = tree.bind(scorer)
+    for _ in range(150):
+        lo, hi = sorted(rng.integers(0, 700, 2))
+        k = int(rng.integers(1, 15))
+        assert index.topk(k, int(lo), int(hi)) == brute_force_topk(scores, k, int(lo), int(hi))
+
+
+def test_topk_many_preferences(dataset, tree):
+    rng = np.random.default_rng(23)
+    for _ in range(10):
+        u = rng.random(3)
+        scorer = LinearPreference(u)
+        scores = scorer.scores(dataset.values)
+        index = tree.bind(scorer)
+        lo, hi = sorted(rng.integers(0, 700, 2))
+        assert index.topk(8, int(lo), int(hi)) == brute_force_topk(scores, 8, int(lo), int(hi))
+
+
+def test_topk_with_ties(tie_heavy_dataset):
+    tree = SkylineTree(tie_heavy_dataset, length_threshold=8)
+    scorer = LinearPreference([1.0, 1.0])
+    scores = scorer.scores(tie_heavy_dataset.values)
+    index = tree.bind(scorer)
+    rng = np.random.default_rng(24)
+    for _ in range(100):
+        lo, hi = sorted(rng.integers(0, 300, 2))
+        k = int(rng.integers(1, 10))
+        assert index.topk(k, int(lo), int(hi)) == brute_force_topk(scores, k, int(lo), int(hi))
+
+
+def test_edge_ranges(dataset, tree):
+    scorer = LinearPreference([1.0, 0.0, 0.0])
+    index = tree.bind(scorer)
+    assert index.topk(3, -50, -1) == []
+    assert index.topk(3, 700, 900) == []
+    assert index.topk(0, 0, 699) == []
+    single = index.topk(1, 5, 5)
+    assert single == [5]
+    assert index.top1(5, 5) == 5
+
+
+def test_score_memoisation(dataset, tree):
+    scorer = LinearPreference([0.4, 0.4, 0.2])
+    index = tree.bind(scorer)
+    first = index.score(42)
+    assert index.score(42) == first
+    assert first == pytest.approx(scorer.score_point(dataset.values[42]))
+
+
+def test_leaf_threshold_one(dataset):
+    tree = SkylineTree(dataset.prefix(64), length_threshold=1)
+    scorer = LinearPreference([0.3, 0.3, 0.4])
+    scores = scorer.scores(dataset.values[:64])
+    index = tree.bind(scorer)
+    assert index.topk(5, 0, 63) == brute_force_topk(scores, 5, 0, 63)

@@ -1,0 +1,161 @@
+"""Tests for the streaming durable top-k monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import brute_force_durable_topk, brute_force_topk
+from repro.core.streaming import StreamingDurableMonitor
+
+
+def run_stream(scores, k, tau, lookahead=False):
+    monitor = StreamingDurableMonitor(k, tau, track_lookahead=lookahead)
+    durable = []
+    resolutions = []
+    for s in scores:
+        is_durable, resolved = monitor.append(s)
+        if is_durable:
+            durable.append(monitor.n - 1)
+        resolutions.extend(resolved)
+    resolutions.extend(monitor.finish())
+    return monitor, durable, resolutions
+
+
+def offline_lookahead(scores, k, tau):
+    """Oracle: mirror of the offline FUTURE direction."""
+    rev = np.asarray(scores)[::-1]
+    n = len(rev)
+    ids = brute_force_durable_topk(rev, k, 0, n - 1, tau)
+    return sorted(n - 1 - t for t in ids)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingDurableMonitor(0, 5)
+        with pytest.raises(ValueError):
+            StreamingDurableMonitor(1, 0)
+
+
+class TestLookback:
+    def test_doc_example(self):
+        monitor = StreamingDurableMonitor(k=1, tau=2)
+        flags = [monitor.append(s)[0] for s in (5.0, 3.0, 6.0, 4.0)]
+        assert flags == [True, False, True, False]
+        assert monitor.durable_ids == [0, 2]
+
+    @pytest.mark.parametrize("k,tau", [(1, 5), (2, 10), (5, 25), (3, 1)])
+    def test_matches_offline_oracle(self, k, tau):
+        rng = np.random.default_rng(k * 100 + tau)
+        scores = rng.random(400)
+        _, durable, _ = run_stream(scores, k, tau)
+        assert durable == brute_force_durable_topk(scores, k, 0, 399, tau)
+
+    @pytest.mark.parametrize("k,tau", [(1, 7), (3, 12)])
+    def test_matches_offline_with_ties(self, k, tau):
+        rng = np.random.default_rng(9)
+        scores = rng.integers(0, 5, 300).astype(float)
+        _, durable, _ = run_stream(scores, k, tau)
+        assert durable == brute_force_durable_topk(scores, k, 0, 299, tau)
+
+    def test_window_topk_matches_oracle(self):
+        rng = np.random.default_rng(10)
+        scores = rng.random(200)
+        monitor = StreamingDurableMonitor(k=4, tau=30)
+        for i, s in enumerate(scores):
+            monitor.append(s)
+            if i % 17 == 0:
+                expected = brute_force_topk(scores[: i + 1], 4, i - 30, i)
+                assert monitor.window_topk() == expected, i
+
+    def test_monotone_increasing_all_durable(self):
+        _, durable, _ = run_stream(np.arange(100, dtype=float), 1, 10)
+        assert durable == list(range(100))
+
+    def test_monotone_decreasing_only_first(self):
+        _, durable, _ = run_stream(np.arange(100, 0, -1, dtype=float), 1, 100)
+        assert durable == [0]
+
+
+class TestLookahead:
+    @pytest.mark.parametrize("k,tau", [(1, 5), (2, 10), (4, 20)])
+    def test_matches_offline_future_direction(self, k, tau):
+        rng = np.random.default_rng(k * 7 + tau)
+        scores = rng.random(300)
+        _, _, resolutions = run_stream(scores, k, tau, lookahead=True)
+        survivors = sorted(r.t for r in resolutions if r.durable)
+        assert survivors == offline_lookahead(scores, k, tau)
+
+    def test_lookahead_with_ties_matches_future_direction(self):
+        rng = np.random.default_rng(11)
+        scores = rng.integers(0, 4, 250).astype(float)
+        _, _, resolutions = run_stream(scores, 2, 9, lookahead=True)
+        survivors = sorted(r.t for r in resolutions if r.durable)
+        assert survivors == offline_lookahead(scores, 2, 9)
+
+    def test_every_record_resolved_exactly_once(self):
+        rng = np.random.default_rng(12)
+        scores = rng.random(150)
+        _, _, resolutions = run_stream(scores, 2, 20, lookahead=True)
+        assert sorted(r.t for r in resolutions) == list(range(150))
+
+    def test_defeat_decided_at_the_kth_blow(self):
+        # Candidate 0 (score 5) beaten by arrivals 1 and 2 with k=2.
+        monitor = StreamingDurableMonitor(k=2, tau=10, track_lookahead=True)
+        monitor.append(5.0)
+        _, r1 = monitor.append(6.0)
+        assert r1 == []
+        _, r2 = monitor.append(7.0)
+        assert len(r2) == 1
+        assert r2[0].t == 0
+        assert not r2[0].durable
+        assert r2[0].decided_at == 2
+
+    def test_survival_decided_when_window_completes(self):
+        monitor = StreamingDurableMonitor(k=1, tau=3, track_lookahead=True)
+        monitor.append(9.0)
+        for score in (1.0,):
+            _, res = monitor.append(score)
+            assert res == []
+        monitor.append(2.0)  # defeats t=1 (1.0 < 2.0) — fine
+        _, res = monitor.append(3.0)  # t=3 completes [0, 3] for the peak
+        survived = [r for r in res if r.durable]
+        assert len(survived) == 1
+        assert survived[0].t == 0
+        assert survived[0].decided_at == 3
+
+    def test_finish_resolves_clipped_windows_as_durable(self):
+        # Scores (3, 1, 2): record 1 is beaten by record 2 mid-stream;
+        # records 0 and 2 are still pending at end-of-stream and resolve
+        # durable under the clipped-window semantics.
+        monitor = StreamingDurableMonitor(k=1, tau=100, track_lookahead=True)
+        mid: list = []
+        for s in (3.0, 1.0, 2.0):
+            _, res = monitor.append(s)
+            mid.extend(res)
+        assert [(r.t, r.durable) for r in mid] == [(1, False)]
+        leftovers = monitor.finish()
+        assert sorted(r.t for r in leftovers) == [0, 2]
+        assert all(r.durable for r in leftovers)
+        # Mirrors the offline FUTURE answer on the same stream.
+        assert offline_lookahead(np.array([3.0, 1.0, 2.0]), 1, 100) == [0, 2]
+
+
+class TestEngineCrossCheck:
+    def test_streaming_equals_engine_future(self):
+        from repro.core.engine import DurableTopKEngine
+        from repro.core.query import Direction, DurableTopKQuery
+        from repro.core.record import Dataset
+        from repro.scoring import LinearPreference
+
+        rng = np.random.default_rng(13)
+        values = rng.random((300, 1))
+        data = Dataset(values)
+        engine = DurableTopKEngine(data)
+        offline = engine.query(
+            DurableTopKQuery(k=3, tau=25, direction=Direction.FUTURE),
+            LinearPreference([1.0]),
+            algorithm="t-hop",
+        )
+        _, _, resolutions = run_stream(values[:, 0], 3, 25, lookahead=True)
+        survivors = sorted(r.t for r in resolutions if r.durable)
+        assert survivors == offline.ids

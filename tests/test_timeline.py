@@ -1,0 +1,110 @@
+"""Tests for timestamp <-> arrival-index conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.record import Dataset
+from repro.core.timeline import Timeline
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline([])
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline([3, 2, 1])
+
+    def test_equal_timestamps_allowed(self):
+        tl = Timeline([1, 1, 2, 2])
+        assert len(tl) == 4
+
+    def test_for_dataset_requires_timestamps(self):
+        data = Dataset(np.ones((3, 1)))
+        with pytest.raises(ValueError):
+            Timeline.for_dataset(data)
+
+    def test_for_dataset(self):
+        data = Dataset(np.ones((3, 1)), timestamps=[10, 20, 30])
+        tl = Timeline.for_dataset(data)
+        assert tl.timestamp_of(1) == 20
+
+
+class TestLookups:
+    @pytest.fixture()
+    def tl(self):
+        return Timeline([10, 20, 20, 30, 50])
+
+    def test_first_at_or_after(self, tl):
+        assert tl.first_at_or_after(5) == 0
+        assert tl.first_at_or_after(20) == 1
+        assert tl.first_at_or_after(21) == 3
+        assert tl.first_at_or_after(51) is None
+
+    def test_last_at_or_before(self, tl):
+        assert tl.last_at_or_before(9) is None
+        assert tl.last_at_or_before(20) == 2
+        assert tl.last_at_or_before(100) == 4
+
+    def test_interval_for(self, tl):
+        assert tl.interval_for(20, 30) == (1, 3)
+        assert tl.interval_for(0, 100) == (0, 4)
+        with pytest.raises(ValueError):
+            tl.interval_for(31, 49)
+        with pytest.raises(ValueError):
+            tl.interval_for(30, 20)
+
+
+class TestTauConversion:
+    def test_tau_for_span_numeric(self):
+        # One record per time unit -> span of 5 units ~ 5 slots back.
+        tl = Timeline(list(range(100)))
+        assert tl.tau_for_span(5) == 5
+        assert tl.tau_for_span(5, at=50) == 5
+
+    def test_tau_for_span_uneven_rates(self):
+        # Dense burst at the end: the same span covers more records there.
+        stamps = list(range(0, 100, 10)) + [100 + i / 10 for i in range(50)]
+        tl = Timeline(stamps)
+        sparse = tl.tau_for_span(20, at=5)
+        dense = tl.tau_for_span(20, at=len(stamps) - 1)
+        assert dense > sparse
+
+    def test_tau_at_least_one(self):
+        tl = Timeline([0, 100])
+        assert tl.tau_for_span(1) == 1
+
+    def test_median_tau_robust(self):
+        stamps = list(range(0, 1000, 10))
+        tl = Timeline(stamps)
+        assert tl.median_tau_for_span(100) == pytest.approx(10, abs=1)
+        with pytest.raises(ValueError):
+            tl.median_tau_for_span(100, samples=0)
+
+    def test_datetime_spans(self):
+        from datetime import datetime, timedelta
+
+        stamps = [datetime(2020, 1, 1) + timedelta(days=i) for i in range(365)]
+        tl = Timeline(stamps)
+        assert tl.tau_for_span(timedelta(days=30)) == 30
+
+
+class TestEndToEnd:
+    def test_calendar_window_query(self):
+        """'Best of the trailing 30 days' via Timeline + engine."""
+        from repro.core.engine import DurableTopKEngine
+        from repro.core.query import DurableTopKQuery
+        from repro.core.reference import brute_force_durable_topk
+        from repro.scoring import LinearPreference
+
+        rng = np.random.default_rng(3)
+        n = 400
+        data = Dataset(rng.random((n, 1)), timestamps=list(range(0, 4 * n, 4)))
+        tl = Timeline.for_dataset(data)
+        tau = tl.tau_for_span(120)  # 120 time units = 30 records
+        assert tau == 30
+        engine = DurableTopKEngine(data)
+        scorer = LinearPreference([1.0])
+        res = engine.query(DurableTopKQuery(k=1, tau=tau), scorer, algorithm="t-hop")
+        assert res.ids == brute_force_durable_topk(scorer.scores(data.values), 1, 0, n - 1, tau)

@@ -1,0 +1,79 @@
+"""Unit tests for tumbling/sliding window comparators (Example I.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import brute_force_durable_topk
+from repro.core.windows import (
+    durable_via_sliding_postprocess,
+    sliding_window_topk,
+    sliding_window_union,
+    tumbling_window_topk,
+)
+
+
+@pytest.fixture(scope="module")
+def scores():
+    rng = np.random.default_rng(55)
+    return rng.random(120)
+
+
+class TestTumbling:
+    def test_windows_partition_timeline(self, scores):
+        out = tumbling_window_topk(scores, 1, 25)
+        covered = []
+        for (lo, hi), _ in out:
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(120))
+
+    def test_each_window_top1_is_max(self, scores):
+        for (lo, hi), ids in tumbling_window_topk(scores, 1, 30):
+            assert scores[ids[0]] == scores[lo : hi + 1].max()
+
+    def test_offset_shifts_boundaries(self, scores):
+        out = tumbling_window_topk(scores, 1, 25, offset=10)
+        assert out[0][0] == (0, 9)
+        assert out[1][0] == (10, 34)
+
+    def test_offset_changes_results(self):
+        # Two high records close together: window placement decides which
+        # survives — the sensitivity the paper criticises.
+        scores = np.zeros(20)
+        scores[9], scores[10] = 5.0, 6.0
+        a = {ids[0] for _, ids in tumbling_window_topk(scores, 1, 10, offset=0)}
+        b = {ids[0] for _, ids in tumbling_window_topk(scores, 1, 10, offset=5)}
+        assert a != b
+
+    def test_invalid_offset(self, scores):
+        with pytest.raises(ValueError):
+            tumbling_window_topk(scores, 1, 10, offset=10)
+
+
+class TestSliding:
+    def test_union_superset_of_durable(self, scores):
+        # Records with a full (unclipped) look-back window are durable only
+        # if some sliding-window position reports them, hence the union is
+        # a superset on [tau, n-1]. (Earlier records have clipped windows
+        # no sliding position matches.)
+        tau = 20
+        union = set(sliding_window_union(scores, 2, tau))
+        durable = set(brute_force_durable_topk(scores, 2, tau, 119, tau))
+        assert durable <= union
+
+    def test_union_typically_larger(self, scores):
+        tau = 20
+        union = sliding_window_union(scores, 2, tau)
+        durable = brute_force_durable_topk(scores, 2, tau, 119, tau)
+        assert len(union) > len(durable)
+
+    def test_window_count(self, scores):
+        out = sliding_window_topk(scores, 1, 20)
+        assert len(out) == 100
+
+
+class TestSlidingPostprocess:
+    def test_matches_durable_definition(self, scores):
+        for k, tau in ((1, 10), (3, 30)):
+            assert durable_via_sliding_postprocess(scores, k, 0, 119, tau) == (
+                brute_force_durable_topk(scores, k, 0, 119, tau)
+            )
