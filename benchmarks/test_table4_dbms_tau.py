@@ -1,10 +1,11 @@
 """Table IV: DBMS-backed (MiniDB) T-Hop vs T-Base, varying tau.
 
-Paper's claims reproduced here (with page I/O as the scale-free cost —
-laptop-scale wall time is CPU-bound, see EXPERIMENTS.md):
+Paper's claims reproduced here (with page I/O as the scale-free cost and
+best-of-warm-rounds seconds as the CPU metric, see EXPERIMENTS.md):
 * T-Hop's cost falls as tau grows (more selective query);
 * T-Base's cost is essentially independent of tau;
-* T-Hop reads fewer pages than T-Base at every setting.
+* T-Hop reads fewer pages than T-Base at every setting;
+* at high tau T-Hop wins on wall time too, as in Section VI-C.
 """
 
 from repro.experiments.tables import table4_dbms_vary_tau
@@ -26,6 +27,7 @@ def test_table4_dbms_vary_tau(benchmark, save_report):
     # T-Hop gets cheaper as tau grows; T-Base stays roughly flat.
     assert hop_pages[-1] < hop_pages[0]
     assert base_pages[-1] > 0.5 * base_pages[0]
-    # At the most selective setting T-Hop is at least competitive on wall
-    # time (at laptop scale CPU dominates; pages are the robust metric).
-    assert rows[-1]["t-hop s"] < 1.2 * rows[-1]["t-base s"]
+    # At the most selective setting T-Hop beats T-Base outright on wall
+    # time — the paper's Section VI-C ordering. Seconds are best-of-3 warm
+    # rounds, so this measures the algorithms, not scheduler noise.
+    assert rows[-1]["t-hop s"] < rows[-1]["t-base s"]

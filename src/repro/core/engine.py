@@ -16,9 +16,42 @@ from repro.core.algorithms.base import AlgorithmContext, get_algorithm
 from repro.core.durability import attach_max_durations
 from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, QueryStats
 from repro.core.record import Dataset
+from repro.core.session import QuerySession
 from repro.index.topk import CountingTopKIndex, build_topk_index
 
-__all__ = ["DurableTopKEngine", "durable_topk"]
+__all__ = ["DurableTopKEngine", "EngineSession", "durable_topk"]
+
+
+class EngineSession(QuerySession):
+    """In-memory counterpart of :class:`repro.minidb.session.MiniDBSession`.
+
+    Binds one scoring function to its preference-bound top-k index so that
+    consecutive queries under the same preference skip the per-call index
+    lookup/build entirely — the same caching interface the MiniDB stored
+    procedures use (one session per preference, reusable state across the
+    many top-k calls of a durable query, droppable at any time without
+    correctness consequences). Obtain one via
+    :meth:`DurableTopKEngine.session`.
+    """
+
+    __slots__ = ("engine", "scorer", "index")
+
+    def __init__(self, engine: "DurableTopKEngine", scorer) -> None:
+        super().__init__(getattr(scorer, "u", None))
+        self.engine = engine
+        self.scorer = scorer
+        self.index = engine._bound_index(scorer)
+
+    def query(
+        self,
+        query: DurableTopKQuery,
+        algorithm: str = "s-hop",
+        with_durations: bool = False,
+    ) -> DurableTopKResult:
+        """Answer ``query`` under the session's bound scoring function."""
+        return self.engine.query(
+            query, self.scorer, algorithm, with_durations, session=self
+        )
 
 
 class DurableTopKEngine:
@@ -132,12 +165,24 @@ class DurableTopKEngine:
             and query.k <= self.skyband_k_max,
         )
 
+    def session(self, scorer) -> EngineSession:
+        """Open a query session bound to ``scorer``.
+
+        The session pins the preference-bound top-k index (and shares the
+        :class:`~repro.core.session.QuerySession` caching interface with
+        the MiniDB backend), so repeated queries under one scoring
+        function skip all per-call setup.
+        """
+        scorer.validate_for(self.dataset.d)
+        return EngineSession(self, scorer)
+
     def query(
         self,
         query: DurableTopKQuery,
         scorer,
         algorithm: str = "s-hop",
         with_durations: bool = False,
+        session: EngineSession | None = None,
     ) -> DurableTopKResult:
         """Answer ``query`` under ``scorer`` with the named algorithm.
 
@@ -145,8 +190,15 @@ class DurableTopKEngine:
         ``with_durations`` additionally computes, for every durable record,
         the maximum duration it stays in the top-k (binary search,
         Section II), stored in ``result.durations``.
+        ``session`` (see :meth:`session`) reuses a preference-bound index
+        across calls; it must have been opened for the same ``scorer``.
         """
         scorer.validate_for(self.dataset.d)
+        if session is not None and session.scorer is not scorer:
+            raise ValueError(
+                "session was opened for a different scoring function; "
+                "open one per scorer via DurableTopKEngine.session()"
+            )
         if algorithm == "auto":
             algorithm = self.plan(query, scorer).algorithm
         if query.direction is Direction.FUTURE:
@@ -160,7 +212,7 @@ class DurableTopKEngine:
         skyband = self._skyband_index() if algo.requires_skyband else None
 
         start = time.perf_counter()
-        inner = self._bound_index(scorer)
+        inner = session.index if session is not None else self._bound_index(scorer)
         index = CountingTopKIndex(inner, stats)
         ctx = AlgorithmContext(
             dataset=self.dataset,

@@ -14,14 +14,30 @@ from repro.scoring import random_preference
 __all__ = ["table4_dbms_vary_tau", "table5_dbms_vary_interval", "table6_dbms_datasets"]
 
 
+#: Warm repetitions used for the wall-time metric (best-of), so the tables
+#: measure the algorithms rather than scheduler noise. Page counts always
+#: come from the single cold round.
+TIMING_ROUNDS = 3
+
+
+def _best_of(proc, db: MiniDB, u: np.ndarray, k: int, tau: int, lo: int, hi: int) -> float:
+    """Minimum wall time over ``TIMING_ROUNDS`` warm invocations."""
+    return min(
+        proc(db, u, k, tau, lo, hi, cold=False).elapsed_seconds
+        for _ in range(TIMING_ROUNDS)
+    )
+
+
 def _run_pair(db: MiniDB, u: np.ndarray, k: int, tau: int, lo: int, hi: int) -> dict:
+    # One cold round defines the page counts (and the answer)...
     hop = t_hop_procedure(db, u, k, tau, lo, hi)
     base = t_base_procedure(db, u, k, tau, lo, hi)
     if hop.ids != base.ids:
         raise AssertionError("DBMS procedures disagree — T-Hop vs T-Base")
+    # ...and the best of >= 3 warm rounds defines the seconds.
     return {
-        "t-hop s": round(hop.elapsed_seconds, 4),
-        "t-base s": round(base.elapsed_seconds, 4),
+        "t-hop s": round(_best_of(t_hop_procedure, db, u, k, tau, lo, hi), 4),
+        "t-base s": round(_best_of(t_base_procedure, db, u, k, tau, lo, hi), 4),
         "t-hop pages": hop.physical_reads,
         "t-base pages": base.physical_reads,
         "page ratio": round(base.physical_reads / max(hop.physical_reads, 1), 1),

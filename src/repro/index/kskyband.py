@@ -38,33 +38,84 @@ from repro.index.priority_search_tree import PrioritySearchTree
 __all__ = ["DurableSkybandIndex", "dominator_times"]
 
 
-def dominator_times(values: np.ndarray, k_max: int, block: int = 1024) -> np.ndarray:
+def _dominance_mask(chunk: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """``(c, m)`` bool mask: does ``chunk[j]`` dominate ``targets[i]``?
+
+    Built dimension by dimension on 2-D masks — no ``(c, m, d)``
+    temporaries — with early exit once no pair can still dominate.
+    Domination = ``>=`` on every attribute and not all-equal.
+    """
+    ge = chunk[:, 0, None] >= targets[None, :, 0]
+    for dim in range(1, chunk.shape[1]):
+        if not ge.any():
+            return ge
+        ge &= chunk[:, dim, None] >= targets[None, :, dim]
+    if ge.any():
+        # Remove exact duplicates (>= everywhere but nowhere strictly >).
+        eq = ge & (chunk[:, 0, None] == targets[None, :, 0])
+        for dim in range(1, chunk.shape[1]):
+            if not eq.any():
+                return ge
+            eq &= chunk[:, dim, None] == targets[None, :, dim]
+        ge &= ~eq
+    return ge
+
+
+def dominator_times(
+    values: np.ndarray, k_max: int, block: int = 1024, target_block: int = 128
+) -> np.ndarray:
     """Arrival times of each record's ``k_max`` most recent dominators.
 
     Returns an ``(n, k_max)`` int array; row ``i`` lists the arrival times
     of the records dominating record ``i``, most recent first, padded with
     ``-1`` when fewer than ``k_max`` dominators exist.
+
+    The scan is vectorised over *blocks of targets*: ``target_block``
+    records at a time are compared against earlier records — newest chunk
+    first, chunk sizes growing geometrically up to ``block`` so that easy
+    targets (dominators nearby) never pay for a full-width scan — and each
+    chunk's hits are scattered into ``out`` with one ``cumsum``/``nonzero``
+    pass instead of a per-record Python loop. A target drops out of its
+    block's scan as soon as its ``k_max`` dominators are found. Neither
+    ``block`` nor ``target_block`` affects the result, only the work
+    schedule.
     """
     values = np.asarray(values, dtype=float)
     n = len(values)
     out = np.full((n, k_max), -1, dtype=np.int64)
-    for i in range(n):
-        found = 0
-        hi = i  # scan records with arrival time < i, newest block first
-        target = values[i]
-        while hi > 0 and found < k_max:
-            lo = max(0, hi - block)
-            chunk = values[lo:hi]
-            ge = np.all(chunk >= target, axis=1)
-            gt = np.any(chunk > target, axis=1)
-            dom_pos = np.nonzero(ge & gt)[0]
-            if len(dom_pos):
-                # Most recent dominators sit at the end of the chunk.
-                take = min(k_max - found, len(dom_pos))
-                recent = dom_pos[::-1][:take] + lo
-                out[i, found : found + take] = recent
-                found += take
-            hi = lo
+    for a0 in range(0, n, target_block):
+        a1 = min(a0 + target_block, n)
+        targets = values[a0:a1]  # (m, d)
+        need = np.full(a1 - a0, k_max, dtype=np.int64)
+        # Chunk boundaries: the intra-block triangle first (records between
+        # a0 and each target), then earlier records in doubling chunks.
+        chunk_hi = a1
+        intra = True
+        step = min(block, max(target_block, 64))
+        while chunk_hi > 0 and need.any():
+            if intra:
+                chunk_lo = a0
+            else:
+                chunk_lo = max(0, chunk_hi - step)
+                step = min(2 * step, block)
+            chunk = values[chunk_lo:chunk_hi]  # (c, d)
+            active = np.nonzero(need > 0)[0]
+            dom = _dominance_mask(chunk, targets[active])
+            if intra:
+                # Only records that arrived strictly earlier can dominate.
+                arrivals = np.arange(chunk_lo, chunk_hi)
+                dom &= arrivals[:, None] < (a0 + active)[None, :]
+            if dom.any():
+                sub_need = need[active]
+                rev = dom[::-1]  # most recent dominators first
+                ranks = np.cumsum(rev, axis=0)
+                jj, ii = np.nonzero(rev & (ranks <= sub_need[None, :]))
+                rank = ranks[jj, ii] - 1
+                cols = active[ii]
+                out[a0 + cols, (k_max - need[cols]) + rank] = (chunk_hi - 1) - jj
+                need[active] -= np.minimum(ranks[-1], sub_need)
+            chunk_hi = chunk_lo
+            intra = False
     return out
 
 
@@ -98,9 +149,9 @@ class DurableSkybandIndex:
             # tau_p = p.t - t_k - 1; "never k-dominated" => covers any tau.
             tau = np.where(kth >= 0, arrivals - kth - 1, n)
             self._durations[k] = tau
-            self._trees[k] = PrioritySearchTree(
-                (int(t), int(tau[t]), int(t)) for t in range(n)
-            )
+            # (x, y, payload) = (arrival, duration, arrival); array build
+            # avoids materialising n Python tuples per level.
+            self._trees[k] = PrioritySearchTree.from_arrays(arrivals, tau, arrivals)
             k *= 2
 
     @property

@@ -4,37 +4,34 @@ The S-Band algorithm (Section IV-B, Figure 4) maps every record ``p`` to the
 2-D point ``(p.t, tau_p)`` — arrival time versus longest duration in the
 k-skyband — and answers a durable top-k query by reporting all points inside
 the 3-sided rectangle ``[t1, t2] x [tau, +inf)``. The paper indexes these
-points with a priority search tree; this is a faithful static
-implementation:
+points with a priority search tree; this is the *implicit* (array-backed)
+variant:
 
-* a binary tree over points, where each node holds the not-yet-placed point
-  with the maximum ``y`` (a heap on ``y``) and splits the remaining points
-  at the median ``x`` (a BST on ``x``);
-* a 3-sided query ``x in [x1, x2], y >= y0`` walks down, pruning subtrees
-  whose root ``y`` is below ``y0`` (heap order makes the root the subtree
-  max) and whose ``x`` ranges miss ``[x1, x2]``.
+* points are stored sorted by ``x``; an implicit complete binary tree over
+  the sorted positions stores each node's maximum ``y`` (a heap on ``y``
+  whose leaves are the BST-on-``x`` order) — the same two invariants a
+  pointer-based PST maintains, laid out as one flat array;
+* a 3-sided query ``x in [x1, x2], y >= y0`` resolves the ``x`` range to a
+  position range by binary search, then walks down the implicit tree,
+  pruning subtrees whose maximum ``y`` is below ``y0``; small surviving
+  subtrees are scanned vectorised (their leaves are contiguous), so
+  reporting runs at NumPy speed.
 
-Construction is ``O(n log n)``, space ``O(n)``, queries
-``O(log n + output)``.
+Construction is ``O(n)`` after the ``O(n log n)`` sort — both vectorised,
+no per-node Python work. Space is ``O(n)``; queries are
+``O(log n + output)`` up to the constant-size leaf chunks.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 __all__ = ["PrioritySearchTree"]
 
-
-class _Node:
-    __slots__ = ("x", "y", "payload", "split", "left", "right")
-
-    def __init__(self, x: float, y: float, payload: object) -> None:
-        self.x = x
-        self.y = y
-        self.payload = payload
-        self.split: float = x
-        self.left: _Node | None = None
-        self.right: _Node | None = None
+#: Subtrees at most this wide are reported by one vectorised scan.
+_LEAF_SPAN = 64
 
 
 class PrioritySearchTree:
@@ -46,54 +43,93 @@ class PrioritySearchTree:
     """
 
     def __init__(self, points: Iterable[tuple[float, float, object]]) -> None:
-        items = [(float(x), float(y), payload) for x, y, payload in points]
-        items.sort(key=lambda item: item[0])
-        self._size = len(items)
-        self._root = self._build(items)
+        items = list(points)
+        xs = np.array([item[0] for item in items], dtype=float)
+        ys = np.array([item[1] for item in items], dtype=float)
+        payloads = [item[2] for item in items]
+        self._init_sorted(xs, ys, payloads)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        payloads: Sequence | np.ndarray | None = None,
+    ) -> "PrioritySearchTree":
+        """Build directly from coordinate arrays, skipping per-point tuples.
+
+        ``payloads`` defaults to the point's position in ``xs``.
+        """
+        tree = cls.__new__(cls)
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if payloads is None:
+            payloads = np.arange(len(xs))
+        tree._init_sorted(xs, ys, payloads)
+        return tree
+
+    def _init_sorted(self, xs: np.ndarray, ys: np.ndarray, payloads) -> None:
+        if len(xs) != len(ys) or len(xs) != len(payloads):
+            raise ValueError("xs, ys and payloads must have equal length")
+        self._size = len(xs)
+        order = np.argsort(xs, kind="stable")
+        self._xs = xs[order]
+        self._ys = ys[order]
+        if isinstance(payloads, np.ndarray):
+            self._payloads = payloads[order]
+        else:
+            self._payloads = [payloads[i] for i in order]
+        # Implicit heap on y over the x-sorted leaves: node 1 is the root,
+        # node i's children are 2i and 2i+1, leaves start at _leaf_base.
+        leaves = 1
+        while leaves < max(self._size, 1):
+            leaves *= 2
+        self._leaf_base = leaves
+        tree = np.full(2 * leaves, -np.inf)
+        tree[leaves : leaves + self._size] = self._ys
+        lo = leaves
+        while lo > 1:
+            level = tree[lo : 2 * lo]
+            tree[lo // 2 : lo] = np.maximum(level[0::2], level[1::2])
+            lo //= 2
+        self._tree = tree
 
     def __len__(self) -> int:
         return self._size
 
-    def _build(self, items: Sequence[tuple[float, float, object]]) -> _Node | None:
-        if not items:
-            return None
-        # Pull out the max-y point; it becomes this subtree's root.
-        best = max(range(len(items)), key=lambda i: (items[i][1], -i))
-        x, y, payload = items[best]
-        rest = [items[i] for i in range(len(items)) if i != best]
-        node = _Node(x, y, payload)
-        if rest:
-            mid = len(rest) // 2
-            node.split = rest[mid][0] if len(rest) % 2 else rest[mid - 1][0]
-            # Split the remainder at the median x; the x-sorted input keeps
-            # both halves sorted, so recursion stays O(n log n) overall.
-            left = rest[: (len(rest) + 1) // 2]
-            right = rest[(len(rest) + 1) // 2 :]
-            node.split = left[-1][0] if left else x
-            node.left = self._build(left)
-            node.right = self._build(right)
-        return node
+    def _report_positions(self, x1: float, x2: float, y0: float) -> list[int]:
+        """Positions (x-sorted order) of points inside the rectangle."""
+        if self._size == 0 or x2 < x1:
+            return []
+        left = int(np.searchsorted(self._xs, x1, side="left"))
+        right = int(np.searchsorted(self._xs, x2, side="right")) - 1
+        if right < left:
+            return []
+        out: list[int] = []
+        ys, tree = self._ys, self._tree
+        stack = [(1, 0, self._leaf_base - 1)]
+        while stack:
+            node, node_lo, node_hi = stack.pop()
+            if node_hi < left or node_lo > right or tree[node] < y0:
+                continue  # heap order: the whole subtree is below y0
+            if node_hi - node_lo < _LEAF_SPAN:
+                # Leaves of a subtree are contiguous positions: scan the
+                # clamped span vectorised instead of walking single nodes.
+                seg_lo = max(node_lo, left)
+                seg_hi = min(node_hi, right, self._size - 1)
+                if seg_hi >= seg_lo:
+                    hits = np.nonzero(ys[seg_lo : seg_hi + 1] >= y0)[0]
+                    out.extend((hits + seg_lo).tolist())
+                continue
+            mid = (node_lo + node_hi) // 2
+            stack.append((2 * node + 1, mid + 1, node_hi))
+            stack.append((2 * node, node_lo, mid))
+        return out
 
     def query_3sided(self, x1: float, x2: float, y0: float) -> list[object]:
         """Payloads of all points with ``x1 <= x <= x2`` and ``y >= y0``."""
-        out: list[object] = []
-        if self._root is None or x2 < x1:
-            return out
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.y < y0:
-                continue  # heap order: the whole subtree is below y0
-            if x1 <= node.x <= x2:
-                out.append(node.payload)
-            # Duplicated x values may straddle the positional split, so both
-            # conditions are inclusive; only distinct values are pruned.
-            if node.left is not None and x1 <= node.split:
-                stack.append(node.left)
-            if node.right is not None and x2 >= node.split:
-                stack.append(node.right)
-        return out
+        return [self._payloads[i] for i in self._report_positions(x1, x2, y0)]
 
     def count_3sided(self, x1: float, x2: float, y0: float) -> int:
         """Number of points inside the 3-sided rectangle."""
-        return len(self.query_3sided(x1, x2, y0))
+        return len(self._report_positions(x1, x2, y0))

@@ -26,6 +26,7 @@ from repro.minidb.buffer import BufferPool
 from repro.minidb.database import MiniDB
 from repro.minidb.pager import PAGE_SIZE, Pager
 from repro.minidb.procedures import t_base_procedure, t_hop_procedure
+from repro.minidb.session import MiniDBSession
 from repro.minidb.table import HeapTable
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "HeapTable",
     "BlockSkylineIndex",
     "MiniDB",
+    "MiniDBSession",
     "t_base_procedure",
     "t_hop_procedure",
 ]

@@ -27,6 +27,7 @@ import numpy as np
 from repro.index.skyline import skyline_indices
 from repro.minidb.buffer import BufferPool
 from repro.minidb.pager import Pager
+from repro.minidb.session import MiniDBSession
 from repro.minidb.table import HeapTable
 
 __all__ = ["BlockSkylineIndex"]
@@ -152,16 +153,82 @@ class BlockSkylineIndex:
             point += take
         return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
 
-    def _upper_bound(self, block: _Block, u: np.ndarray, lo: int, hi: int) -> float:
-        """Max preference score over the block's skyline.
+    def _touch_point_pages(self, block: _Block) -> None:
+        """Replay the buffered page reads of ``_read_points``.
 
-        For blocks only partially inside ``[lo, hi]`` the skyline max is
-        still a valid upper bound for the in-range rows.
+        Called on a session cache hit so the buffer-pool counters and LRU
+        state evolve exactly as an uncached read would have made them
+        (same pages, same ascending order).
         """
+        if block.n_points == 0:
+            return
+        ppp = self._points_per_page
+        first_page = block.point_offset // ppp
+        last_page = (block.point_offset + block.n_points - 1) // ppp
+        for page in range(first_page, last_page + 1):
+            self._buffer.get(self._first_page + page)
+
+    def _block_points(self, block: _Block, session: MiniDBSession) -> np.ndarray:
+        """A block's decoded skyline points, decoded once per session."""
+        points = session.points.get(id(block))
+        if points is not None:
+            self._touch_point_pages(block)
+            return points
         points = self._read_points(block)
-        if len(points) == 0:
-            return float("-inf")
-        return float((points[:, 1:] @ u).max())
+        session.points[id(block)] = points
+        return points
+
+    def _ensure_upper_bounds(self, blocks: list[_Block], session: MiniDBSession) -> None:
+        """Fill ``session.ub`` for every block in ``blocks`` (one matvec).
+
+        A block's upper bound is the max preference score over its skyline
+        — valid for partially-overlapped blocks too, since the skyline max
+        bounds every in-range row.
+
+        Blocks already bounded are skipped; the rest have their skyline
+        points decoded (in block order, preserving the page access
+        sequence) and scored with a single batched matrix-vector product,
+        then segment maxima via ``np.maximum.reduceat``.
+        """
+        ub_cache = session.ub
+        missing = [blk for blk in blocks if id(blk) not in ub_cache]
+        if not missing:
+            return
+        points = [self._block_points(blk, session) for blk in missing]
+        nonempty = [(blk, pts) for blk, pts in zip(missing, points) if len(pts)]
+        for blk, pts in zip(missing, points):
+            if len(pts) == 0:
+                ub_cache[id(blk)] = float("-inf")
+        if not nonempty:
+            return
+        stacked = (
+            np.concatenate([pts[:, 1:] for _, pts in nonempty])
+            if len(nonempty) > 1
+            else nonempty[0][1][:, 1:]
+        )
+        scores = stacked @ session.u
+        counts = np.fromiter((len(pts) for _, pts in nonempty), dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        maxima = np.maximum.reduceat(scores, starts)
+        for (blk, _), ub in zip(nonempty, maxima):
+            ub_cache[id(blk)] = float(ub)
+
+    def _range_scores(
+        self, table: HeapTable, session: MiniDBSession, lo: int, hi: int
+    ) -> np.ndarray:
+        """Scores of data rows ``[lo, hi]``, cached per session.
+
+        A hit replays the same buffered page reads ``read_rows`` would
+        issue, keeping page accounting identical to an uncached run.
+        """
+        key = (lo, hi)
+        scores = session.range_scores.get(key)
+        if scores is not None:
+            table.touch_rows(lo, hi)
+            return scores
+        scores = table.read_rows(lo, hi) @ session.u
+        session.range_scores[key] = scores
+        return scores
 
     def topk(
         self,
@@ -171,17 +238,21 @@ class BlockSkylineIndex:
         lo: int,
         hi: int,
         ub_cache: dict | None = None,
+        session: MiniDBSession | None = None,
     ) -> list[int]:
         """Exact top-k row ids in ``[lo, hi]`` under preference ``u``.
 
         Canonical order (score desc, later row wins ties), identical to the
         in-memory building blocks.
 
-        ``ub_cache`` (optional, keyed by block) memoises block upper bounds
-        across the many top-k calls a durable query makes *with the same
-        preference vector* — the analogue of the hot buffer cache the
-        paper's PostgreSQL procedures enjoy. Pass a fresh dict per durable
-        query; never reuse across preference vectors.
+        ``session`` (optional) carries the per-preference caches across the
+        many top-k calls a durable query makes *with the same preference
+        vector* — the analogue of the hot buffer cache the paper's
+        PostgreSQL procedures enjoy (see
+        :class:`~repro.minidb.session.MiniDBSession`). ``ub_cache`` is the
+        legacy form: a bare dict holding only the upper-bound cache. Pass a
+        fresh session/dict per durable query; never reuse across
+        preference vectors.
         """
         if self.root is None or k <= 0:
             return []
@@ -189,42 +260,62 @@ class BlockSkylineIndex:
         hi = min(hi, table.n_rows - 1)
         if hi < lo:
             return []
-        u = np.asarray(u, dtype=float)
+        if session is None:
+            session = MiniDBSession(u)
+            if ub_cache is not None:
+                session.ub = ub_cache
+        elif u is not session.u and not np.array_equal(u, session.u):
+            raise ValueError(
+                "session was opened for a different preference vector; "
+                "open one per preference via MiniDB.session()"
+            )
+        u = session.u
         counter = 0  # heap tie-breaker
         heap: list[tuple[float, int, _Block]] = []
 
         def push(block: _Block) -> None:
             nonlocal counter
-            if block.hi < lo or block.lo > hi:
-                return
-            if ub_cache is not None and id(block) in ub_cache:
-                ub = ub_cache[id(block)]
-            else:
-                ub = self._upper_bound(block, u, lo, hi)
-                if ub_cache is not None:
-                    ub_cache[id(block)] = ub
             counter += 1
-            heapq.heappush(heap, (-ub, counter, block))
+            heapq.heappush(heap, (-session.ub[id(block)], counter, block))
 
+        self._ensure_upper_bounds([self.root], session)
         push(self.root)
-        ids: list[int] = []
-        scores: list[float] = []
+        # Candidate accumulation in preallocated buffers (grown by
+        # doubling); one lexsort at the end replaces the per-block
+        # re-sorts and per-element conversions of a naive implementation.
+        cap = max(2 * self.block_rows, k)
+        ids_buf = np.empty(cap, dtype=np.int64)
+        scores_buf = np.empty(cap, dtype=np.float64)
+        m = 0
         kth_score: float | None = None
         while heap:
             neg_ub, _, block = heapq.heappop(heap)
             if kth_score is not None and -neg_ub < kth_score:
                 break
             if block.children is not None:
-                for child in block.children:
+                overlapping = [
+                    child
+                    for child in block.children
+                    if not (child.hi < lo or child.lo > hi)
+                ]
+                self._ensure_upper_bounds(overlapping, session)
+                for child in overlapping:
                     push(child)
                 continue
-            rows = table.read_rows(max(block.lo, lo), min(block.hi, hi))
-            base = max(block.lo, lo)
-            block_scores = rows @ u
-            ids.extend(range(base, base + len(rows)))
-            scores.extend(block_scores.tolist())
-            if len(ids) >= k:
-                order = np.lexsort((ids, scores))[::-1]
-                kth_score = float(np.asarray(scores)[order[k - 1]])
-        order = np.lexsort((ids, scores))[::-1]
-        return [int(np.asarray(ids)[i]) for i in order[:k]]
+            a, b = max(block.lo, lo), min(block.hi, hi)
+            block_scores = self._range_scores(table, session, a, b)
+            count = b - a + 1
+            if m + count > cap:
+                cap = max(2 * cap, m + count)
+                ids_buf = np.resize(ids_buf, cap)
+                scores_buf = np.resize(scores_buf, cap)
+            ids_buf[m : m + count] = np.arange(a, b + 1)
+            scores_buf[m : m + count] = block_scores
+            m += count
+            if m >= k:
+                # k-th largest score (ties need no id refinement: the
+                # break test above compares scores only).
+                kth_score = float(np.partition(scores_buf[:m], m - k)[m - k])
+        ids_v, scores_v = ids_buf[:m], scores_buf[:m]
+        order = np.lexsort((ids_v, scores_v))[::-1][:k]
+        return [int(i) for i in ids_v[order]]

@@ -8,6 +8,7 @@ from repro.core.record import Dataset
 from repro.minidb.blockindex import BlockSkylineIndex
 from repro.minidb.buffer import BufferPool
 from repro.minidb.pager import PAGE_SIZE, Pager
+from repro.minidb.session import MiniDBSession
 from repro.minidb.table import HeapTable
 
 __all__ = ["MiniDB"]
@@ -65,16 +66,54 @@ class MiniDB:
         """Total on-disk footprint in bytes."""
         return self.pager.n_pages * self.pager.page_size
 
+    def session(self, u: np.ndarray) -> MiniDBSession:
+        """Open a query session bound to preference ``u``.
+
+        The session memoises per-preference CPU work (block upper bounds,
+        decoded skyline points, score vectors) across consecutive top-k
+        calls while the page accounting stays exactly as without it — see
+        :mod:`repro.minidb.session`.
+        """
+        return MiniDBSession(u)
+
     def topk(
-        self, u: np.ndarray, k: int, lo: int, hi: int, ub_cache: dict | None = None
+        self,
+        u: np.ndarray,
+        k: int,
+        lo: int,
+        hi: int,
+        ub_cache: dict | None = None,
+        session: MiniDBSession | None = None,
     ) -> list[int]:
         """Range top-k through the index table (page-accounted)."""
-        return self.index.topk(self.table, u, k, lo, hi, ub_cache=ub_cache)
+        return self.index.topk(self.table, u, k, lo, hi, ub_cache=ub_cache, session=session)
 
-    def score_of(self, u: np.ndarray, row_id: int) -> float:
-        """One row's preference score (a buffered row read)."""
-        row = self.table.read_row(row_id)
-        return float(np.dot(row, u))
+    def score_of(
+        self, u: np.ndarray, row_id: int, session: MiniDBSession | None = None
+    ) -> float:
+        """One row's preference score (a buffered row read).
+
+        With a ``session``, the row's whole page is decoded and scored on
+        first touch and later lookups on the same page are served from the
+        cached vector — still charging one buffered page read per call,
+        exactly like the uncached path.
+        """
+        if session is None:
+            row = self.table.read_row(row_id)
+            return float(np.dot(row, u))
+        if u is not session.u and not np.array_equal(u, session.u):
+            raise ValueError(
+                "session was opened for a different preference vector; "
+                "open one per preference via MiniDB.session()"
+            )
+        page_id, slot = self.table.page_of(row_id)
+        scores = session.page_scores.get(page_id)
+        if scores is None:
+            scores = self.table.read_page_rows(page_id) @ session.u
+            session.page_scores[page_id] = scores
+        else:
+            self.buffer.get(page_id)  # replay the single page read
+        return float(scores[slot])
 
     def reset_io(self, cold: bool = False) -> None:
         """Zero the I/O counters; with ``cold`` also empty the buffer pool."""

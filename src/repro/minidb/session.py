@@ -1,0 +1,56 @@
+"""MiniDB query sessions: CPU caches layered *above* the buffer pool.
+
+The paper's PostgreSQL procedures enjoy a hot buffer cache: consecutive
+top-k calls inside one durable query hit the same index and data pages.
+MiniDB's buffer pool reproduces the page-level caching; what it cannot
+reproduce is PostgreSQL's compiled execution — every page MiniDB touches
+is re-decoded and re-scored in Python, and at laptop scale that CPU cost
+swamps the I/O the algorithms are designed to save.
+
+:class:`MiniDBSession` fixes the imbalance without distorting the I/O
+accounting. It caches *derived* values — block upper bounds, decoded
+skyline points, score vectors for row ranges and data pages — all keyed
+to one preference vector. Crucially, a cache hit still **replays** the
+page accesses the uncached computation would have made (the same
+``BufferPool.get`` calls, in the same order), so ``logical_reads``,
+``physical_reads`` and the LRU eviction state evolve *identically* to a
+session-free run: the session saves decode/matvec CPU, never counted
+page work. Table IV–VI page numbers are therefore byte-for-byte stable
+across this optimisation, while wall time drops to where the paper's
+page-count ordering also holds on seconds.
+
+Sessions are cheap; create one per stored-procedure invocation (both
+procedures do) and never reuse across preference vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.session import QuerySession
+
+__all__ = ["MiniDBSession"]
+
+
+class MiniDBSession(QuerySession):
+    """Per-invocation cache bundle for one preference vector over MiniDB.
+
+    Cache layout (all inherited from :class:`QuerySession`):
+
+    * ``ub`` — ``id(block) -> float`` upper bound of the block's skyline
+      under ``u`` (what the seed implementation kept in ``ub_cache``);
+    * ``points`` — ``id(block) -> (m, d+1) ndarray`` decoded skyline
+      points, so a block is decoded once per session, not once per
+      upper-bound computation;
+    * ``range_scores`` — ``(lo, hi) -> (m,) ndarray`` scores of data rows
+      ``lo..hi`` (the candidate scores a leaf block contributes);
+    * ``page_scores`` — ``page_id -> (rows_per_page,) ndarray`` scores of
+      one whole data page (serves T-Base's per-slide point lookups).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, u: np.ndarray) -> None:
+        if u is None:
+            raise ValueError("a MiniDB session must be bound to a preference vector")
+        super().__init__(u)

@@ -93,6 +93,10 @@ class HeapTable:
         page_index, slot = divmod(row_id, self.rows_per_page)
         return self._first_page + page_index, slot
 
+    def page_of(self, row_id: int) -> tuple[int, int]:
+        """``(page_id, slot)`` address of a row (no page access)."""
+        return self._page_of(row_id)
+
     def read_row(self, row_id: int) -> tuple[float, ...]:
         """One row's attribute values (a buffered page read)."""
         page_id, slot = self._page_of(row_id)
@@ -118,3 +122,38 @@ class HeapTable:
             )
             row += take
         return out
+
+    def touch_rows(self, lo: int, hi: int) -> None:
+        """Replay the buffered page reads of ``read_rows(lo, hi)``.
+
+        Issues the exact same ``BufferPool.get`` calls (same pages, same
+        ascending order) without decoding, so a session-level score cache
+        hit leaves the page accounting identical to an uncached read.
+        """
+        lo = max(lo, 0)
+        hi = min(hi, self.n_rows - 1)
+        if hi < lo:
+            return
+        first_page, _ = self._page_of(lo)
+        last_page, _ = self._page_of(hi)
+        for page_id in range(first_page, last_page + 1):
+            self._buffer.get(page_id)
+
+    def read_page_rows(self, page_id: int) -> np.ndarray:
+        """All rows stored on one data page as an ``(m, d)`` array.
+
+        One buffered page read — the same cost as a single ``read_row`` —
+        decoded in bulk, so per-row score lookups can be served from a
+        page-level cache.
+        """
+        if self._first_page is None:
+            raise IndexError("table holds no pages")
+        page_index = page_id - self._first_page
+        start_row = page_index * self.rows_per_page
+        if not 0 <= start_row < self.n_rows:
+            raise IndexError(f"page {page_id} holds no rows of this table")
+        count = min(self.rows_per_page, self.n_rows - start_row)
+        data = self._buffer.get(page_id)
+        raw = np.frombuffer(data, dtype=np.uint8, count=count * self.row_bytes)
+        payload = raw.reshape(count, self.row_bytes)[:, : self.payload_bytes]
+        return np.ascontiguousarray(payload).view("<f8").reshape(count, self.d)

@@ -165,3 +165,24 @@ class TestPreferenceCache:
         for k, tau in ((1, 30), (3, 60), (5, 120)):  # same scorer, varied query
             res = engine.query(DurableTopKQuery(k=k, tau=tau), scorer, algorithm="t-hop")
             assert res.ids == brute_force_durable_topk(scores, k, 0, 499, tau)
+
+    def test_engine_session_matches_plain_queries(self, dataset):
+        from repro.core.reference import brute_force_durable_topk
+
+        engine = DurableTopKEngine(dataset)
+        scorer = LinearPreference([0.4, 0.6])
+        scores = scorer.scores(dataset.values)
+        session = engine.session(scorer)
+        assert session.index is engine._bound_index(scorer)  # pinned, not rebuilt
+        with pytest.raises(ValueError):  # sessions are scorer-bound
+            engine.query(
+                DurableTopKQuery(k=1, tau=10),
+                LinearPreference([0.9, 0.1]),
+                session=session,
+            )
+        for k, tau in ((1, 30), (3, 60), (5, 120)):
+            query = DurableTopKQuery(k=k, tau=tau)
+            via_session = session.query(query, algorithm="t-hop")
+            plain = engine.query(query, scorer, algorithm="t-hop")
+            assert via_session.ids == plain.ids
+            assert via_session.ids == brute_force_durable_topk(scores, k, 0, 499, tau)

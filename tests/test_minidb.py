@@ -170,6 +170,50 @@ class TestBlockIndexTopK:
         for lo, hi, k in ((0, 2999, 5), (100, 900, 3), (2000, 2500, 8)):
             assert db.topk(u, k, lo, hi, ub_cache=cache) == brute_force_topk(scores, k, lo, hi)
 
+    def test_session_gives_same_answers_and_accounting(self, db):
+        """A session changes neither answers nor page accounting."""
+        u = np.array([0.2, 0.8])
+        scores = db.dataset.values @ u
+        windows = ((0, 2999, 5), (100, 900, 3), (2000, 2500, 8), (1500, 2400, 5))
+        ub_cache: dict = {}  # the seed-era caching baseline
+        db.reset_io(cold=True)
+        plain = [db.topk(u, k, lo, hi, ub_cache=ub_cache) for lo, hi, k in windows]
+        plain_io = db.io_stats()
+        session = db.session(u)
+        db.reset_io(cold=True)
+        cached = [db.topk(u, k, lo, hi, session=session) for lo, hi, k in windows]
+        session_io = db.io_stats()
+        assert plain == cached
+        for (lo, hi, k), ids in zip(windows, plain):
+            assert ids == brute_force_topk(scores, k, lo, hi)
+        # The session's extra caches replay their page reads on every hit,
+        # so logical/physical accounting is identical to ub-cache-only.
+        assert session_io == plain_io
+
+    def test_large_k_finalization(self, db):
+        """Regression for the O(n^2) finalization: a large ``k`` collects
+        thousands of candidates and must still match brute force."""
+        u = np.array([0.6, 0.4])
+        scores = db.dataset.values @ u
+        for k in (500, 1000, 2500):
+            assert db.topk(u, k, 0, 2999) == brute_force_topk(scores, k, 0, 2999)
+
+    def test_session_bound_to_one_preference(self, db):
+        session = db.session(np.array([0.5, 0.5]))
+        other = np.array([0.9, 0.1])
+        with pytest.raises(ValueError):
+            db.topk(other, 5, 0, 100, session=session)
+        with pytest.raises(ValueError):
+            db.score_of(other, 7, session=session)
+
+    def test_session_score_of_matches_plain(self, db):
+        u = np.array([0.45, 0.55])
+        session = db.session(u)
+        for row in (0, 63, 64, 1234, 2999):
+            assert db.score_of(u, row, session=session) == pytest.approx(
+                db.score_of(u, row)
+            )
+
     def test_empty_and_degenerate(self, db):
         u = np.array([1.0, 0.0])
         assert db.topk(u, 0, 0, 100) == []
@@ -217,9 +261,34 @@ class TestStoredProcedures:
         assert d["answer_size"] == len(rep.ids)
         assert d["physical_reads"] >= 0
 
-    def test_empty_interval_rejected(self, db):
+    @pytest.mark.parametrize("proc", [t_hop_procedure, t_base_procedure])
+    def test_empty_interval_returns_empty_report(self, db, proc):
+        """``lo > hi`` answers with an empty report, like the in-memory
+        engine's empty-window semantics — not an error."""
+        rep = proc(db, np.array([1.0, 0.0]), 1, 10, 100, 50)
+        assert rep.ids == []
+        assert rep.topk_queries == 0
+        assert rep.logical_reads == 0 and rep.physical_reads == 0
+
+    @pytest.mark.parametrize("proc", [t_hop_procedure, t_base_procedure])
+    def test_interval_beyond_data_is_empty(self, db, proc):
+        rep = proc(db, np.array([1.0, 0.0]), 2, 10, 4000, 5000)
+        assert rep.ids == []
+
+    @pytest.mark.parametrize("proc", [t_hop_procedure, t_base_procedure])
+    @pytest.mark.parametrize("k,tau", [(0, 10), (-1, 10), (3, -1)])
+    def test_unsatisfiable_parameters_rejected(self, db, proc, k, tau):
         with pytest.raises(ValueError):
-            t_hop_procedure(db, np.array([1.0, 0.0]), 1, 10, 100, 50)
+            proc(db, np.array([1.0, 0.0]), k, tau, 0, 100)
+
+    @pytest.mark.parametrize("proc", [t_hop_procedure, t_base_procedure])
+    def test_tau_zero_makes_every_record_durable(self, db, proc):
+        """With ``tau = 0`` every window holds only its own record."""
+        u = np.array([0.3, 0.7])
+        scores = db.dataset.values @ u
+        expected = brute_force_durable_topk(scores, 3, 3900, 3999, 0)
+        rep = proc(db, u, 3, 0, 3900, 3999)
+        assert rep.ids == expected == list(range(3900, 4000))
 
     def test_storage_accounting(self, db):
         assert db.storage_pages() > 0

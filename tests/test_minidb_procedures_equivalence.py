@@ -1,0 +1,74 @@
+"""Seeded equivalence: MiniDB procedures vs the in-memory reference.
+
+`t_hop_procedure` and `t_base_procedure` answer through page storage and
+the block-skyline index table; the in-memory engine answers through the
+preference-bound top-k index; `brute_force_durable_topk` answers from the
+definition. All three must return the identical durable id list on every
+randomized ``u``/``k``/``tau``/interval combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.core.record import Dataset
+from repro.core.reference import brute_force_durable_topk
+from repro.minidb import MiniDB, t_base_procedure, t_hop_procedure
+from repro.scoring import LinearPreference
+
+N = 2500
+D = 3
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(11)
+    dataset = Dataset(rng.random((N, D)), name="equiv-test")
+    db = MiniDB(dataset, buffer_pages=24, block_rows=64, fanout=4)
+    engine = DurableTopKEngine(dataset)
+    yield db, engine, dataset
+    db.close()
+
+
+def random_cases(n_cases: int = 18):
+    rng = np.random.default_rng(29)
+    for _ in range(n_cases):
+        u = rng.random(D) + 0.05  # strictly positive weights
+        u /= u.sum()
+        k = int(rng.integers(1, 13))
+        # tau >= 1: DurableTopKQuery rejects tau=0 (procedures cover the
+        # tau=0 edge separately in test_minidb.py / test_edge_intervals).
+        tau = int(rng.integers(1, N // 2))
+        lo, hi = np.sort(rng.integers(0, N, 2))
+        yield u, k, tau, int(lo), int(hi)
+
+
+@pytest.mark.parametrize("case", list(random_cases()), ids=lambda c: f"k={c[1]},tau={c[2]},I=[{c[3]},{c[4]}]")
+def test_procedures_match_each_other_and_reference(setup, case):
+    db, engine, dataset = setup
+    u, k, tau, lo, hi = case
+    hop = t_hop_procedure(db, u, k, tau, lo, hi)
+    base = t_base_procedure(db, u, k, tau, lo, hi)
+    assert hop.ids == base.ids
+
+    scores = dataset.values @ u
+    assert hop.ids == brute_force_durable_topk(scores, k, lo, hi, tau)
+
+    in_memory = engine.query(
+        DurableTopKQuery(k=k, tau=tau, interval=(lo, hi)),
+        LinearPreference(u),
+        algorithm="t-hop",
+    )
+    assert hop.ids == in_memory.ids
+
+
+def test_edge_intervals_match_reference(setup):
+    db, engine, dataset = setup
+    u = np.array([0.2, 0.3, 0.5])
+    scores = dataset.values @ u
+    for k, tau, lo, hi in ((3, 0, 0, 99), (2, 100, 0, 0), (5, N, 0, N - 1), (4, 7, N - 1, N - 1)):
+        hop = t_hop_procedure(db, u, k, tau, lo, hi)
+        base = t_base_procedure(db, u, k, tau, lo, hi)
+        expected = brute_force_durable_topk(scores, k, lo, hi, tau)
+        assert hop.ids == base.ids == expected
