@@ -9,7 +9,6 @@ LENGTH_THRESHOLD (Appendix A's granularity knob).
 
 import time
 
-import numpy as np
 
 from repro.core.algorithms.base import AlgorithmContext, get_algorithm
 from repro.core.query import QueryStats

@@ -10,7 +10,6 @@ reads.
 
 import numpy as np
 
-from repro.core.record import Dataset
 from repro.data import synthetic_dataset
 from repro.experiments.report import format_table
 from repro.minidb import MiniDB, t_hop_procedure

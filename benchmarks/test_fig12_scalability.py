@@ -10,7 +10,6 @@ Paper's claims reproduced here:
   distribution.
 """
 
-import pytest
 
 from repro.experiments.figures import figure12_scalability
 

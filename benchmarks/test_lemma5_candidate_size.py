@@ -7,7 +7,6 @@ expected k-skyband size recurrence evaluated exactly by
 factor of it, and must grow with d.
 """
 
-import numpy as np
 
 from repro.analysis.expected import expected_skyband_size
 from repro.data.synthetic import independent_uniform

@@ -10,7 +10,6 @@ contrasts the three query semantics the paper discusses:
 Run:  python examples/nba_case_study.py
 """
 
-import numpy as np
 
 from repro import DurableTopKQuery, DurableTopKEngine, SingleAttribute
 from repro.core.windows import sliding_window_union, tumbling_window_topk

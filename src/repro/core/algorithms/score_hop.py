@@ -25,7 +25,7 @@ the returned set exact.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.algorithms.base import AlgorithmContext, DurableTopKAlgorithm, register
 from repro.core.blocking import BlockingIntervals

@@ -9,6 +9,7 @@ five algorithms.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 
@@ -49,6 +50,8 @@ class EngineSession(QuerySession):
         with_durations: bool = False,
     ) -> DurableTopKResult:
         """Answer ``query`` under the session's bound scoring function."""
+        if self.closed:
+            raise RuntimeError("session is closed")
         return self.engine.query(
             query, self.scorer, algorithm, with_durations, session=self
         )
@@ -87,7 +90,15 @@ class DurableTopKEngine:
         self._reverse_engine: DurableTopKEngine | None = None
         # Interactive exploration re-queries the same preference with
         # different k/tau/I; cache the preference-bound block (LRU).
+        # Concurrent service workers share one engine, so every cache
+        # mutation happens under the lock; in-flight builds are tracked in
+        # ``_building`` so a cold preference is built once, not per thread.
         self._index_cache: "OrderedDict[object, object]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._building: dict[object, threading.Event] = {}
+        # Heavy shared structures (skyband index, reversed engine) get
+        # their own lock so their builds never stall the LRU fast path.
+        self._build_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _skyband_index(self):
@@ -96,7 +107,14 @@ class DurableTopKEngine:
         if self.skyband_k_max is None:
             return None
         cached = self.dataset.get_cached("skyband_index")
-        if cached is None or cached.k_max < self.skyband_k_max:
+        if cached is not None and cached.k_max >= self.skyband_k_max:
+            return cached
+        # Double-checked: the expensive build runs at most once per engine
+        # even when many service workers first-touch S-Band concurrently.
+        with self._build_lock:
+            cached = self.dataset.get_cached("skyband_index")
+            if cached is not None and cached.k_max >= self.skyband_k_max:
+                return cached
             cached = DurableSkybandIndex(self.dataset, k_max=self.skyband_k_max)
             self.dataset.set_cached("skyband_index", cached)
         return cached
@@ -112,8 +130,7 @@ class DurableTopKEngine:
         if self.index_method == "skyline_tree":
             from repro.index.skyline_tree import SkylineTree
 
-            if not self.dataset.has_cached("skyline_tree"):
-                self.dataset.set_cached("skyline_tree", SkylineTree(self.dataset))
+            self.dataset.get_or_build("skyline_tree", lambda: SkylineTree(self.dataset))
         if "s-band" in names and self.skyband_k_max is not None:
             self._skyband_index()
         return self
@@ -125,27 +142,52 @@ class DurableTopKEngine:
         (``scorer.u``), else the object itself — two equal-weight scorers
         share an entry; a mutated ``u`` array would not, so preference
         vectors are treated as immutable (as all shipped scorers do).
+
+        Thread-safe: lookups and LRU mutation happen under the cache lock,
+        and a cold preference is built exactly once — concurrent
+        first-touchers wait on the builder's event instead of racing
+        duplicate builds or corrupting the ``OrderedDict``.
         """
         u = getattr(scorer, "u", None)
-        key = (type(scorer).__name__, None if u is None else tuple(u))
-        cached = self._index_cache.get(key)
-        if cached is not None:
-            self._index_cache.move_to_end(key)
-            return cached
-        built = build_topk_index(self.dataset, scorer, method=self.index_method)
-        self._index_cache[key] = built
-        if len(self._index_cache) > self.PREFERENCE_CACHE_SIZE:
-            self._index_cache.popitem(last=False)
+        # u-less scorers key by the object itself (kept alive by the LRU
+        # entry), so two distinct parameterisations never collide.
+        key = (type(scorer).__name__, scorer if u is None else tuple(u))
+        while True:
+            with self._cache_lock:
+                cached = self._index_cache.get(key)
+                if cached is not None:
+                    self._index_cache.move_to_end(key)
+                    return cached
+                event = self._building.get(key)
+                if event is None:
+                    # This thread builds; concurrent first-touchers wait.
+                    event = threading.Event()
+                    self._building[key] = event
+                    break
+            event.wait()
+            # The builder published (loop re-reads the cache) or failed /
+            # was evicted meanwhile (loop makes this thread the builder).
+        try:
+            built = build_topk_index(self.dataset, scorer, method=self.index_method)
+            with self._cache_lock:
+                self._index_cache[key] = built
+                if len(self._index_cache) > self.PREFERENCE_CACHE_SIZE:
+                    self._index_cache.popitem(last=False)
+        finally:
+            with self._cache_lock:
+                self._building.pop(key, None)
+            event.set()
         return built
 
     def _reversed(self) -> "DurableTopKEngine":
-        if self._reverse_engine is None:
-            self._reverse_engine = DurableTopKEngine(
-                self.dataset.reversed(),
-                index_method=self.index_method,
-                skyband_k_max=self.skyband_k_max,
-            )
-        return self._reverse_engine
+        with self._build_lock:
+            if self._reverse_engine is None:
+                self._reverse_engine = DurableTopKEngine(
+                    self.dataset.reversed(),
+                    index_method=self.index_method,
+                    skyband_k_max=self.skyband_k_max,
+                )
+            return self._reverse_engine
 
     # ------------------------------------------------------------------
     def plan(self, query: DurableTopKQuery, scorer):
@@ -267,8 +309,6 @@ class DurableTopKEngine:
         self, query: DurableTopKQuery, scorer, algorithms: list[str] | None = None
     ) -> dict[str, DurableTopKResult]:
         """Run several algorithms on the same query (they must agree)."""
-        from repro.core.algorithms.base import get_algorithm  # noqa: F401
-
         names = algorithms or list(self.PAPER_ALGORITHMS)
         out: dict[str, DurableTopKResult] = {}
         for name in names:

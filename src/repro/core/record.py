@@ -11,8 +11,9 @@ presentation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -94,7 +95,9 @@ class Dataset:
             list(attribute_names) if attribute_names is not None else [f"x{i}" for i in range(d)]
         )
         self.name = name
-        self._cache: dict[str, Any] = {}
+        # Keys are cache names plus ("building", name) in-flight markers.
+        self._cache: dict[Any, Any] = {}
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -202,32 +205,77 @@ class Dataset:
         The reversed dataset is cached; reversing twice returns a dataset
         equal to the original (not the identical object).
         """
-        cached = self._cache.get("reversed")
-        if cached is None:
-            cached = Dataset(
+        return self.get_or_build(
+            "reversed",
+            lambda: Dataset(
                 self._values[::-1].copy(),
                 timestamps=list(reversed(self.timestamps)) if self.timestamps else None,
                 labels=list(reversed(self.labels)) if self.labels else None,
                 attribute_names=self.attribute_names,
                 name=f"{self.name}-reversed",
-            )
-            self._cache["reversed"] = cached
-        return cached
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Index cache (skyline trees, skyband indexes, ...)
     # ------------------------------------------------------------------
     def has_cached(self, key: str) -> bool:
         """Whether a derived index is cached under ``key``."""
-        return key in self._cache
+        with self._cache_lock:
+            return key in self._cache
 
     def get_cached(self, key: str) -> Any:
         """Fetch a cached derived index (``None`` when absent)."""
-        return self._cache.get(key)
+        with self._cache_lock:
+            return self._cache.get(key)
 
     def set_cached(self, key: str, value: Any) -> None:
-        """Cache a derived index under ``key``."""
-        self._cache[key] = value
+        """Cache a derived index under ``key``.
+
+        Thread-safe, last-writer-wins. Concurrent builders racing to cache
+        the same key should prefer :meth:`get_or_build`, which publishes
+        exactly one instance.
+        """
+        with self._cache_lock:
+            self._cache[key] = value
+
+    def get_or_build(self, key: str, factory: Callable[[], Any]) -> Any:
+        """The cached value under ``key``, building it once if absent.
+
+        Double-checked: the factory runs outside the lock (index builds
+        take seconds at scale and must not serialise readers of other
+        keys), and the first finished builder wins — concurrent callers
+        for the same key all receive the published instance, so shared
+        structures such as the skyline tree are never duplicated across
+        sessions.
+        """
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            building = self._cache.get(("building", key))
+            if cached is not None:
+                return cached
+            if building is None:
+                building = threading.Event()
+                self._cache[("building", key)] = building
+                builder = True
+            else:
+                builder = False
+        if not builder:
+            building.wait()
+            with self._cache_lock:
+                cached = self._cache.get(key)
+            if cached is None:  # builder failed; retry (and maybe build)
+                return self.get_or_build(key, factory)
+            return cached
+        try:
+            value = factory()
+            with self._cache_lock:
+                self._cache[key] = value
+        finally:
+            with self._cache_lock:
+                self._cache.pop(("building", key), None)
+            building.set()
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Dataset(name={self.name!r}, n={self.n}, d={self.d})"

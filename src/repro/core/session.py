@@ -24,6 +24,11 @@ top-k index). Both expose the same contract:
   correctness consequences;
 * cached state saves CPU, never observable work: page accounting (MiniDB)
   and query statistics (engine) are charged exactly as without a session.
+
+Sessions are context managers: ``with engine.session(scorer) as s: ...``
+releases the cached state deterministically on exit. The service layer's
+:class:`repro.service.pool.SessionPool` relies on :meth:`QuerySession.close`
+to free evicted sessions eagerly instead of waiting for garbage collection.
 """
 
 from __future__ import annotations
@@ -52,7 +57,7 @@ class QuerySession:
         Score vectors for whole storage pages, keyed by page id.
     """
 
-    __slots__ = ("u", "ub", "points", "range_scores", "page_scores")
+    __slots__ = ("u", "ub", "points", "range_scores", "page_scores", "closed")
 
     def __init__(self, u: np.ndarray | None = None) -> None:
         self.u = None if u is None else np.asarray(u, dtype=float)
@@ -60,6 +65,7 @@ class QuerySession:
         self.points: dict = {}
         self.range_scores: dict = {}
         self.page_scores: dict = {}
+        self.closed = False
 
     def clear(self) -> None:
         """Drop all cached state (the binding to ``u`` is kept)."""
@@ -67,3 +73,22 @@ class QuerySession:
         self.points.clear()
         self.range_scores.clear()
         self.page_scores.clear()
+
+    def close(self) -> None:
+        """Release cached state and mark the session closed.
+
+        Closing is idempotent. A closed session may not serve further
+        queries, but because caches only ever hold state derived from the
+        dataset and the bound preference, closing at *any* point is safe —
+        there is nothing to flush and no correctness consequence.
+        """
+        self.clear()
+        self.closed = True
+
+    def __enter__(self) -> "QuerySession":
+        if self.closed:
+            raise RuntimeError("session is closed")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

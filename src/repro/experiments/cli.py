@@ -5,9 +5,14 @@ Usage::
     python -m repro list
     python -m repro run fig8 --workload nba2
     python -m repro run all --out results/
+    python -m repro serve-bench --out results/
+    python -m repro serve-bench --smoke
 
 Each experiment prints the same table/series its benchmark counterpart
-saves, so results can be regenerated without pytest.
+saves, so results can be regenerated without pytest. ``serve-bench``
+drives the concurrent serving layer (naive lock vs session-pooled
+service); ``--smoke`` runs it small with serial verification and exits
+non-zero on any rejected or incorrect response — the CI gate.
 """
 
 from __future__ import annotations
@@ -106,7 +111,79 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n", type=int, default=20_000, help="dataset size")
     run.add_argument("--preferences", type=int, default=3, help="preference vectors per point")
     run.add_argument("--out", type=Path, default=None, help="directory for report files")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the concurrent serving layer (naive lock vs pooled service)",
+    )
+    serve.add_argument("--n", type=int, default=80_000, help="dataset size")
+    serve.add_argument("--requests", type=int, default=1200, help="requests per round")
+    serve.add_argument("--clients", type=int, default=8, help="client threads")
+    serve.add_argument("--workers", type=int, default=8, help="service worker threads")
+    serve.add_argument(
+        "--preferences", type=int, default=128, help="distinct preference vectors"
+    )
+    serve.add_argument("--zipf", type=float, default=0.9, help="zipf exponent")
+    serve.add_argument("--rounds", type=int, default=2, help="timed rounds per side")
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay every request serially and check answers match",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run with --verify; exit 1 on any rejected/incorrect response",
+    )
+    serve.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for service_throughput.txt (default: results/)",
+    )
     return parser
+
+
+def _serve_bench(args) -> int:
+    from repro.experiments.service_bench import SMOKE_DEFAULTS, service_throughput_bench
+
+    kwargs = {
+        "n": args.n,
+        "requests": args.requests,
+        "clients": args.clients,
+        "workers": args.workers,
+        "n_preferences": args.preferences,
+        "zipf_s": args.zipf,
+        "rounds": args.rounds,
+        "verify": args.verify or args.smoke,
+    }
+    if args.smoke:
+        kwargs.update(SMOKE_DEFAULTS)
+        kwargs["verify"] = True
+    start = time.perf_counter()
+    result = service_throughput_bench(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(result.report)
+    print(f"[serve-bench finished in {elapsed:.1f}s]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"{result.name}.txt").write_text(result.report + "\n")
+    if args.smoke:
+        failures = []
+        if result.data["incorrect"]:
+            failures.append(f"{result.data['incorrect']} incorrect response(s)")
+        if result.data["rejected"]:
+            failures.append(f"{result.data['rejected']} rejected response(s)")
+        if result.data["verified"] != result.data["requests"]:
+            failures.append(
+                f"serial verification {result.data['verified']}/"
+                f"{result.data['requests']}"
+            )
+        if failures:
+            print("SMOKE FAILURE: " + "; ".join(failures))
+            return 1
+        print("smoke ok: all responses served and serially verified")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name:8s} {description}")
         return 0
+    if args.command == "serve-bench":
+        return _serve_bench(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

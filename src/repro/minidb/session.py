@@ -20,7 +20,11 @@ across this optimisation, while wall time drops to where the paper's
 page-count ordering also holds on seconds.
 
 Sessions are cheap; create one per stored-procedure invocation (both
-procedures do) and never reuse across preference vectors.
+procedures do when not handed one) and never reuse across preference
+vectors. Like every :class:`~repro.core.session.QuerySession` they are
+context managers — ``with db.session(u) as s: ...`` drops the cached
+state on exit — and the service layer's session pool closes evicted
+sessions eagerly through the same :meth:`close` hook.
 """
 
 from __future__ import annotations

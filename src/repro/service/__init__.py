@@ -1,0 +1,53 @@
+"""Concurrent durable top-k serving layer.
+
+Turns the single-caller :class:`~repro.core.engine.DurableTopKEngine` /
+:class:`~repro.minidb.database.MiniDB` stack into a thread-safe,
+multi-client service: bounded admission, per-preference request
+batching, a warm session pool, pluggable execution backends, synthetic
+workload generation and SLO metrics. See ``README.md`` ("Serving layer")
+and ``EXPERIMENTS.md`` ("The service throughput benchmark").
+"""
+
+from repro.service.backends import EngineBackend, MiniDBBackend
+from repro.service.metrics import MetricsCollector, MetricsSnapshot, percentile
+from repro.service.pool import SessionPool
+from repro.service.request import (
+    QueryRejected,
+    QueryRequest,
+    QueryResponse,
+    RejectionReason,
+    preference_key,
+)
+from repro.service.service import DurableTopKService, LockedEngineService
+from repro.service.workload import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    open_loop_arrivals,
+    run_closed_loop,
+    run_open_loop,
+    run_pipelined,
+    zipfian_probabilities,
+)
+
+__all__ = [
+    "DurableTopKService",
+    "EngineBackend",
+    "LockedEngineService",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "MiniDBBackend",
+    "QueryRejected",
+    "QueryRequest",
+    "QueryResponse",
+    "RejectionReason",
+    "SessionPool",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "open_loop_arrivals",
+    "percentile",
+    "preference_key",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_pipelined",
+    "zipfian_probabilities",
+]

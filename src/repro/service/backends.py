@@ -1,0 +1,135 @@
+"""Execution backends the service can serve queries through.
+
+A backend knows two things: how to open a per-preference
+:class:`~repro.core.session.QuerySession` (the pooled resource) and how
+to execute one :class:`~repro.service.request.QueryRequest` with such a
+session. Two backends ship:
+
+* :class:`EngineBackend` — the in-memory
+  :class:`~repro.core.engine.DurableTopKEngine`. Queries under
+  *different* preferences run genuinely concurrently: the engine's index
+  LRU is lock-guarded, the score-array index is read-only at query time,
+  and the service's one-batch-per-preference discipline serialises the
+  only per-preference mutable state (the skyline-tree block's memoised
+  scores).
+* :class:`MiniDBBackend` — the paged MiniDB with its stored procedures.
+  The buffer pool (shared LRU + I/O counters) is deliberately *not*
+  thread-safe — a real DBMS guards it with latches — so this backend
+  serialises execution with one latch per database. Sessions still pool
+  per preference, and because session cache hits replay their page
+  reads, the per-query page accounting is byte-identical to a serial,
+  session-free run (the invariant `tests/test_service.py` pins under
+  concurrency).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.query import Direction, DurableTopKResult, QueryStats
+from repro.core.session import QuerySession
+from repro.minidb.procedures import t_base_procedure, t_hop_procedure
+from repro.service.request import QueryRequest
+
+__all__ = ["EngineBackend", "MiniDBBackend"]
+
+
+class EngineBackend:
+    """Serve requests through an in-memory :class:`DurableTopKEngine`."""
+
+    name = "engine"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def make_session(self, scorer) -> QuerySession:
+        return self.engine.session(scorer)
+
+    def execute(self, session, request: QueryRequest) -> DurableTopKResult:
+        return session.query(
+            request.as_query(), algorithm=request.algorithm
+        )
+
+    def close(self) -> None:
+        """Nothing to release; indexes belong to the engine/dataset."""
+
+
+class MiniDBBackend:
+    """Serve requests through MiniDB's T-Base/T-Hop stored procedures.
+
+    Parameters
+    ----------
+    db:
+        An open :class:`~repro.minidb.database.MiniDB`.
+    cold:
+        Passed through to the procedures: ``True`` (default) empties the
+        buffer pool per invocation, which makes every request's page
+        counts deterministic and independent of serving order — the
+        property the concurrency-equivalence test relies on. ``False``
+        keeps the pool warm across requests (realistic serving, page
+        counts then depend on interleaving).
+    """
+
+    name = "minidb"
+
+    PROCEDURES = {"t-hop": t_hop_procedure, "t-base": t_base_procedure}
+
+    def __init__(self, db, cold: bool = True) -> None:
+        self.db = db
+        self.cold = cold
+        # The buffer pool and pager are shared mutable state without
+        # internal latching; one execution latch stands in for them.
+        self._latch = threading.Lock()
+
+    def make_session(self, scorer) -> QuerySession:
+        u = getattr(scorer, "u", None)
+        if u is None:
+            raise ValueError(
+                "the MiniDB backend needs a preference-vector scorer (scorer.u)"
+            )
+        return self.db.session(np.asarray(u, dtype=float))
+
+    def execute(self, session, request: QueryRequest) -> DurableTopKResult:
+        if request.direction is not Direction.PAST:
+            raise ValueError(
+                "the MiniDB stored procedures answer look-back queries only"
+            )
+        procedure = self.PROCEDURES.get(request.algorithm)
+        if procedure is None:
+            raise ValueError(
+                f"MiniDB backend serves {sorted(self.PROCEDURES)}, "
+                f"not {request.algorithm!r}"
+            )
+        lo, hi = request.interval if request.interval is not None else (None, None)
+        with self._latch:
+            report = procedure(
+                self.db,
+                session.u,
+                request.k,
+                request.tau,
+                lo,
+                hi,
+                cold=self.cold,
+                session=session,
+            )
+        stats = QueryStats(
+            durability_topk_queries=report.topk_queries,
+            pages_read=report.logical_reads,
+        )
+        return DurableTopKResult(
+            ids=report.ids,
+            query=request.as_query(),
+            algorithm=report.algorithm,
+            stats=stats,
+            elapsed_seconds=report.elapsed_seconds,
+            extra={
+                "logical_reads": report.logical_reads,
+                "physical_reads": report.physical_reads,
+                "topk_queries": report.topk_queries,
+            },
+        )
+
+    def close(self) -> None:
+        """The database is caller-owned; nothing to release here."""

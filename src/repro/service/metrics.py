@@ -1,0 +1,198 @@
+"""Latency and throughput accounting for the serving layer.
+
+The collector answers the questions an SLO dashboard asks of a top-k
+serving system: how many requests per second, what the p50/p95/p99
+latency is, how often the session pool served a warm session, and how
+many requests were turned away (and why). All counters are guarded by
+one lock; the service records a handful of events per *batch*, so the
+lock is far off the per-query hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.service.request import QueryResponse, RejectionReason
+
+__all__ = ["MetricsCollector", "MetricsSnapshot", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default ("linear") method so reported figures agree
+    with offline analysis; returns 0.0 for an empty sample set.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class MetricsSnapshot:
+    """A point-in-time copy of the service counters, plus derived rates."""
+
+    elapsed_seconds: float
+    submitted: int
+    completed: int
+    rejected: dict[str, int]
+    batches: int
+    pool_hits: int
+    pool_misses: int
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_mean: float
+    wait_p95: float
+    service_p95: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the measured window."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    @property
+    def pool_hit_rate(self) -> float:
+        checkouts = self.pool_hits + self.pool_misses
+        return self.pool_hits / checkouts if checkouts else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": dict(self.rejected),
+            "throughput_rps": round(self.throughput, 1),
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "pool_hit_rate": round(self.pool_hit_rate, 4),
+            "latency_ms": {
+                "p50": round(self.latency_p50 * 1e3, 3),
+                "p95": round(self.latency_p95 * 1e3, 3),
+                "p99": round(self.latency_p99 * 1e3, 3),
+                "mean": round(self.latency_mean * 1e3, 3),
+            },
+            "wait_p95_ms": round(self.wait_p95 * 1e3, 3),
+            "service_p95_ms": round(self.service_p95 * 1e3, 3),
+        }
+
+    def report(self, title: str = "service metrics") -> str:
+        """Human-readable multi-line summary (result-file friendly)."""
+        rej = ", ".join(f"{k}={v}" for k, v in sorted(self.rejected.items())) or "none"
+        lines = [
+            title,
+            f"  requests: submitted={self.submitted} completed={self.completed} "
+            f"rejected=[{rej}]",
+            f"  throughput: {self.throughput:.1f} req/s over {self.elapsed_seconds:.2f}s",
+            f"  latency ms: p50={self.latency_p50 * 1e3:.2f} "
+            f"p95={self.latency_p95 * 1e3:.2f} p99={self.latency_p99 * 1e3:.2f} "
+            f"mean={self.latency_mean * 1e3:.2f}",
+            f"  queue wait p95: {self.wait_p95 * 1e3:.2f} ms   "
+            f"service p95: {self.service_p95 * 1e3:.2f} ms",
+            f"  batching: {self.batches} batches, mean size {self.mean_batch_size:.2f}",
+            f"  session pool: hit rate {self.pool_hit_rate:.1%} "
+            f"({self.pool_hits} hits / {self.pool_misses} misses)",
+        ]
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Thread-safe accumulator fed by the service (and readable any time).
+
+    ``completed`` counts *answered* requests only — rejections live in
+    ``rejected`` and never pollute the throughput or latency figures.
+    Latency samples are kept in a bounded sliding window
+    (``sample_window`` most recent responses), so a long-lived service
+    reports recent percentiles at constant memory instead of growing a
+    list per request forever.
+    """
+
+    def __init__(self, sample_window: int = 65_536) -> None:
+        if sample_window < 1:
+            raise ValueError(f"sample_window must be >= 1, got {sample_window}")
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected: dict[str, int] = {}
+        self.batches = 0
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self._latency: deque[float] = deque(maxlen=sample_window)
+        self._wait: deque[float] = deque(maxlen=sample_window)
+        self._service: deque[float] = deque(maxlen=sample_window)
+
+    # -- recording hooks (called by DurableTopKService) -----------------
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejection(self, reason: RejectionReason) -> None:
+        with self._lock:
+            self.rejected[reason.value] = self.rejected.get(reason.value, 0) + 1
+
+    def record_batch(self, pool_hit: bool) -> None:
+        with self._lock:
+            self.batches += 1
+            if pool_hit:
+                self.pool_hits += 1
+            else:
+                self.pool_misses += 1
+
+    def record_response(self, response: QueryResponse) -> None:
+        if response.error is not None:
+            return  # rejections are counted by record_rejection only
+        with self._lock:
+            self.completed += 1
+            self._latency.append(response.total_seconds)
+            self._wait.append(response.wait_seconds)
+            self._service.append(response.service_seconds)
+
+    def reset_clock(self) -> None:
+        """Restart the throughput window (e.g. after warmup)."""
+        with self._lock:
+            self._started = time.perf_counter()
+
+    # -- reading ---------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            latency = list(self._latency)
+            wait = list(self._wait)
+            service = list(self._service)
+            elapsed = time.perf_counter() - self._started
+            return MetricsSnapshot(
+                elapsed_seconds=elapsed,
+                submitted=self.submitted,
+                completed=self.completed,
+                rejected=dict(self.rejected),
+                batches=self.batches,
+                pool_hits=self.pool_hits,
+                pool_misses=self.pool_misses,
+                latency_p50=percentile(latency, 50),
+                latency_p95=percentile(latency, 95),
+                latency_p99=percentile(latency, 99),
+                latency_mean=sum(latency) / len(latency) if latency else 0.0,
+                wait_p95=percentile(wait, 95),
+                service_p95=percentile(service, 95),
+            )

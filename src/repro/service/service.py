@@ -1,0 +1,357 @@
+"""The concurrent durable top-k query service.
+
+:class:`DurableTopKService` turns the single-caller engine/MiniDB stack
+into a multi-client serving layer:
+
+* **Admission control** — a bounded queue; a submit against a full queue
+  is rejected immediately with
+  :attr:`~repro.service.request.RejectionReason.QUEUE_FULL`, and a
+  request whose queue wait exceeds its ``timeout`` is rejected with
+  ``TIMEOUT`` when a worker picks it up. Rejections are typed data on
+  the returned future, never exceptions inside the service.
+* **Per-preference batching** — pending requests are grouped by
+  preference key; a worker drains up to ``max_batch`` same-preference
+  requests in one go and serves them with a single warm session. At most
+  one batch per key is in flight, so same-preference work is serialised
+  (sessions are single-threaded by contract) while distinct preferences
+  run in parallel across the worker pool.
+* **Session pooling** — the per-preference
+  :class:`~repro.core.session.QuerySession` survives between batches in
+  a bounded LRU :class:`~repro.service.pool.SessionPool`, so a hot
+  preference keeps its preference-bound index and score caches.
+* **Metrics** — throughput, latency percentiles, pool hit rate and
+  rejection counts accumulate in a
+  :class:`~repro.service.metrics.MetricsCollector`.
+
+:class:`LockedEngineService` is the contrast class: the naive way to
+make the engine multi-client is one global lock around it. It shares the
+service's request/response/metrics surface so benchmarks can swap the
+two — `benchmarks/test_service_throughput.py` measures the gap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.service.metrics import MetricsCollector
+from repro.service.pool import SessionPool
+from repro.service.request import (
+    QueryRejected,
+    QueryRequest,
+    QueryResponse,
+    RejectionReason,
+)
+
+__all__ = ["DurableTopKService", "LockedEngineService"]
+
+
+@dataclass
+class _Pending:
+    """One queued request with its future and enqueue timestamp."""
+
+    request: QueryRequest
+    future: "Future[QueryResponse]"
+    enqueued: float
+
+
+class DurableTopKService:
+    """Session-pooled, batching, admission-controlled query service.
+
+    Parameters
+    ----------
+    backend:
+        An execution backend (see :mod:`repro.service.backends`).
+    workers:
+        Worker threads executing batches.
+    max_queue:
+        Admission bound on queued (not yet picked up) requests.
+    max_batch:
+        Maximum same-preference requests served per session checkout.
+    pool_capacity:
+        Idle sessions retained (see :class:`SessionPool`).
+    default_timeout:
+        Queue-wait deadline applied to requests that carry none.
+    max_concurrent_builds:
+        Cold-session constructions allowed at once. A cold checkout
+        builds a preference-bound index — tens of milliseconds of
+        GIL-holding, cache-hungry work. Letting every worker build
+        simultaneously convoys them (measured ~50x slowdown per build at
+        8 workers on one core: the classic thundering-herd), so builds
+        are single-flighted by default while warm batches keep flowing.
+    """
+
+    def __init__(
+        self,
+        backend,
+        workers: int = 4,
+        max_queue: int = 1024,
+        max_batch: int = 16,
+        pool_capacity: int = 64,
+        default_timeout: float | None = None,
+        metrics: MetricsCollector | None = None,
+        max_concurrent_builds: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_concurrent_builds < 1:
+            raise ValueError(
+                f"max_concurrent_builds must be >= 1, got {max_concurrent_builds}"
+            )
+        self.backend = backend
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.default_timeout = default_timeout
+        self.pool = SessionPool(pool_capacity)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self._build_gate = threading.Semaphore(max_concurrent_builds)
+
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._pending: dict[Hashable, deque[_Pending]] = {}
+        self._ready: deque[Hashable] = deque()  # keys with work, not in flight
+        self._active: set[Hashable] = set()  # keys currently being served
+        self._queued = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"durable-topk-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Enqueue a request; returns a future resolving to a response.
+
+        Admission control happens here: a full queue (or a closed
+        service) resolves the future immediately with a typed rejection.
+        """
+        self.metrics.record_submit()
+        future: "Future[QueryResponse]" = Future()
+        key = request.key
+        with self._lock:
+            if self._closed:
+                return self._reject(request, future, RejectionReason.SHUTDOWN)
+            if self._queued >= self.max_queue:
+                return self._reject(request, future, RejectionReason.QUEUE_FULL)
+            self._queued += 1
+            bucket = self._pending.get(key)
+            if bucket is None:
+                bucket = deque()
+                self._pending[key] = bucket
+            bucket.append(_Pending(request, future, time.perf_counter()))
+            if key not in self._active and len(bucket) == 1:
+                self._ready.append(key)
+                self._work_ready.notify()
+        return future
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Blocking convenience: submit and wait for the response."""
+        return self.submit(request).result()
+
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting work, drain in-flight batches, reject the rest.
+
+        Idempotent. Requests still queued when the workers exit resolve
+        with a ``SHUTDOWN`` rejection rather than hanging their futures.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_ready.notify_all()
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+        with self._lock:
+            leftovers = [item for bucket in self._pending.values() for item in bucket]
+            self._pending.clear()
+            self._ready.clear()
+            self._queued = 0
+        for item in leftovers:
+            self._reject(item.request, item.future, RejectionReason.SHUTDOWN)
+        self.pool.close()
+        self.backend.close()
+
+    def __enter__(self) -> "DurableTopKService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reject(
+        self,
+        request: QueryRequest,
+        future: "Future[QueryResponse]",
+        reason: RejectionReason,
+    ) -> "Future[QueryResponse]":
+        self.metrics.record_rejection(reason)
+        error = QueryRejected(reason, f"request rejected: {reason.value}")
+        future.set_result(QueryResponse(request=request, error=error))
+        return future
+
+    def _take_batch(self) -> tuple[Hashable, list[_Pending]] | None:
+        """Block until a batch is available; ``None`` means shut down."""
+        with self._lock:
+            while not self._ready and not self._closed:
+                self._work_ready.wait()
+            if not self._ready:
+                return None  # closed and drained
+            key = self._ready.popleft()
+            self._active.add(key)
+            bucket = self._pending[key]
+            batch = []
+            while bucket and len(batch) < self.max_batch:
+                batch.append(bucket.popleft())
+            if not bucket:
+                del self._pending[key]
+            self._queued -= len(batch)
+            return key, batch
+
+    def _finish_key(self, key: Hashable) -> None:
+        """Mark a key idle again, rescheduling it if work arrived meanwhile."""
+        with self._lock:
+            self._active.discard(key)
+            if key in self._pending:
+                self._ready.append(key)
+                self._work_ready.notify()
+
+    def _worker_loop(self) -> None:
+        while True:
+            taken = self._take_batch()
+            if taken is None:
+                return
+            key, batch = taken
+            try:
+                self._serve_batch(key, batch)
+            finally:
+                self._finish_key(key)
+
+    def _make_session(self, scorer):
+        """Build a cold session, throttled by the build gate."""
+        with self._build_gate:
+            return self.backend.make_session(scorer)
+
+    def _serve_batch(self, key: Hashable, batch: list[_Pending]) -> None:
+        scorer = batch[0].request.scorer
+        try:
+            session, pool_hit = self.pool.checkout(
+                key, lambda: self._make_session(scorer)
+            )
+        except BaseException as exc:
+            # A session that cannot be built (e.g. a scorer whose
+            # dimensionality doesn't match the dataset) fails this batch's
+            # futures — never the worker thread, which must keep serving.
+            for item in batch:
+                item.future.set_exception(exc)
+            return
+        self.metrics.record_batch(pool_hit)
+        try:
+            for item in batch:
+                self._serve_one(item, session, pool_hit, len(batch))
+        finally:
+            self.pool.checkin(key, session)
+
+    def _serve_one(
+        self, item: _Pending, session, pool_hit: bool, batch_size: int
+    ) -> None:
+        now = time.perf_counter()
+        wait = now - item.enqueued
+        timeout = (
+            item.request.timeout
+            if item.request.timeout is not None
+            else self.default_timeout
+        )
+        if timeout is not None and wait > timeout:
+            self.metrics.record_rejection(RejectionReason.TIMEOUT)
+            error = QueryRejected(
+                RejectionReason.TIMEOUT,
+                f"queued {wait * 1e3:.1f} ms > timeout {timeout * 1e3:.1f} ms",
+            )
+            item.future.set_result(
+                QueryResponse(
+                    request=item.request,
+                    error=error,
+                    wait_seconds=wait,
+                    total_seconds=wait,
+                    batch_size=batch_size,
+                    pool_hit=pool_hit,
+                )
+            )
+            return
+        try:
+            result = self.backend.execute(session, item.request)
+        except BaseException as exc:  # surface backend bugs on the future
+            item.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        response = QueryResponse(
+            request=item.request,
+            result=result,
+            wait_seconds=wait,
+            service_seconds=done - now,
+            total_seconds=done - item.enqueued,
+            batch_size=batch_size,
+            pool_hit=pool_hit,
+        )
+        self.metrics.record_response(response)
+        item.future.set_result(response)
+
+
+class LockedEngineService:
+    """The naive multi-client layer: one global lock around the engine.
+
+    Every request — including any index (re)build the engine's LRU has
+    evicted — runs under the lock, so clients serialise end to end. This
+    is the baseline the session-pooled service is measured against; it
+    deliberately has no queue, no batching and no pooling beyond the
+    engine's own ``PREFERENCE_CACHE_SIZE``-entry index LRU.
+    """
+
+    def __init__(self, engine, metrics: MetricsCollector | None = None) -> None:
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self._lock = threading.Lock()
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        self.metrics.record_submit()
+        start = time.perf_counter()
+        with self._lock:
+            acquired = time.perf_counter()
+            result = self.engine.query(
+                request.as_query(), request.scorer, algorithm=request.algorithm
+            )
+        done = time.perf_counter()
+        response = QueryResponse(
+            request=request,
+            result=result,
+            wait_seconds=acquired - start,
+            service_seconds=done - acquired,
+            total_seconds=done - start,
+        )
+        self.metrics.record_response(response)
+        return response
+
+    def close(self) -> None:
+        """Nothing to release (no workers, no pool)."""
+
+    def __enter__(self) -> "LockedEngineService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,271 @@
+"""Multi-client workload generation for the serving layer.
+
+The paper's experiments average over randomly drawn preference vectors
+(Section VI); a *serving* workload additionally needs a popularity
+distribution over those preferences and an arrival process. This module
+provides both:
+
+* **Preference popularity** — Zipfian over a fixed catalogue of
+  preference vectors, the standard model for interactive query traffic
+  (a few hot preferences dominate, a long tail keeps the caches honest).
+* **Query-parameter mix** — ``k``, ``tau`` and interval length drawn per
+  request from configurable choice sets (fractions of the dataset size,
+  mirroring the Table III sweeps), with an optional share of look-ahead
+  (``FUTURE``-direction) queries.
+* **Arrival models** — *closed-loop* (``clients`` threads, each issuing
+  its next request when the previous one answers: throughput-bound) and
+  *open-loop* (Poisson arrivals at a target rate, independent of service
+  speed: the model that exposes queueing delay and admission control).
+
+Generation is deterministic given the spec's seed, so the equivalence
+tests can replay the exact request stream serially.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.query import Direction
+from repro.scoring import LinearPreference, random_preference
+from repro.service.request import QueryRequest, QueryResponse
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "zipfian_probabilities",
+    "open_loop_arrivals",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_pipelined",
+]
+
+
+def zipfian_probabilities(n: int, s: float = 1.1) -> np.ndarray:
+    """Zipf(s) popularity over ranks ``1..n``, normalised to sum 1."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if s < 0:
+        raise ValueError(f"zipf exponent must be >= 0, got {s}")
+    weights = 1.0 / np.arange(1, n + 1, dtype=float) ** s
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a synthetic serving workload.
+
+    ``tau_fractions`` and ``interval_fractions`` are fractions of the
+    dataset size ``n``; intervals are placed uniformly at random inside
+    the time domain. ``future_fraction`` is the share of look-ahead
+    queries (keep 0 for the MiniDB backend, whose procedures are
+    look-back only).
+    """
+
+    n_preferences: int = 64
+    d: int = 2
+    zipf_s: float = 1.1
+    k_choices: Sequence[int] = (5, 10)
+    tau_fractions: Sequence[float] = (0.025, 0.05)
+    interval_fractions: Sequence[float] = (0.05, 0.10)
+    algorithms: Sequence[str] = ("t-hop",)
+    future_fraction: float = 0.0
+    timeout: float | None = None
+    seed: int = 0
+
+
+class WorkloadGenerator:
+    """Draws :class:`QueryRequest` streams for one dataset size.
+
+    The preference catalogue is materialised once (scorer objects are
+    shared across requests, so requests for the same rank share a
+    preference key — the property batching and pooling exploit).
+    """
+
+    def __init__(self, spec: WorkloadSpec, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"dataset size must be >= 2, got {n}")
+        self.spec = spec
+        self.n = n
+        self._rng = np.random.default_rng(spec.seed)
+        self.scorers = [
+            LinearPreference(random_preference(self._rng, spec.d))
+            for _ in range(spec.n_preferences)
+        ]
+        self.popularity = zipfian_probabilities(spec.n_preferences, spec.zipf_s)
+
+    def request(self) -> QueryRequest:
+        """One request drawn from the spec's distributions."""
+        spec, rng, n = self.spec, self._rng, self.n
+        scorer = self.scorers[int(rng.choice(len(self.scorers), p=self.popularity))]
+        k = int(rng.choice(list(spec.k_choices)))
+        tau = max(1, int(float(rng.choice(list(spec.tau_fractions))) * n))
+        length = max(1, int(float(rng.choice(list(spec.interval_fractions))) * n))
+        lo = int(rng.integers(0, max(1, n - length)))
+        hi = min(n - 1, lo + length - 1)
+        direction = (
+            Direction.FUTURE
+            if spec.future_fraction > 0 and rng.random() < spec.future_fraction
+            else Direction.PAST
+        )
+        algorithm = str(rng.choice(list(spec.algorithms)))
+        return QueryRequest(
+            scorer=scorer,
+            k=k,
+            tau=tau,
+            interval=(lo, hi),
+            direction=direction,
+            algorithm=algorithm,
+            timeout=spec.timeout,
+        )
+
+    def requests(self, count: int) -> list[QueryRequest]:
+        """A deterministic batch of ``count`` requests."""
+        return [self.request() for _ in range(count)]
+
+
+def open_loop_arrivals(
+    requests: Iterable[QueryRequest], rate: float, seed: int = 0
+) -> Iterator[tuple[float, QueryRequest]]:
+    """Pair requests with Poisson inter-arrival delays (seconds).
+
+    ``rate`` is the offered load in requests/second; delays are iid
+    exponential with mean ``1/rate``, the standard open-loop model where
+    arrivals do not wait for completions.
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be > 0, got {rate}")
+    rng = np.random.default_rng(seed)
+    for request in requests:
+        yield float(rng.exponential(1.0 / rate)), request
+
+
+@dataclass
+class _SharedCursor:
+    """Hand out requests to closed-loop clients one at a time."""
+
+    requests: Sequence[QueryRequest]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    next_index: int = 0
+
+    def take(self) -> tuple[int, QueryRequest] | None:
+        with self.lock:
+            if self.next_index >= len(self.requests):
+                return None
+            i = self.next_index
+            self.next_index += 1
+            return i, self.requests[i]
+
+
+def run_closed_loop(
+    query: Callable[[QueryRequest], QueryResponse],
+    requests: Sequence[QueryRequest],
+    clients: int = 8,
+) -> list[QueryResponse]:
+    """Drive ``query`` with ``clients`` threads, each one-at-a-time.
+
+    ``query`` is any blocking request->response callable — a
+    :meth:`DurableTopKService.query` bound method, a
+    :class:`LockedEngineService`'s, or a plain function — so the same
+    driver measures every serving strategy. Responses are returned in
+    request order. If ``query`` raises in a client thread, that first
+    exception is re-raised here (with the remaining clients drained)
+    rather than dying silently inside the thread.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    cursor = _SharedCursor(requests)
+    responses: list[QueryResponse | None] = [None] * len(requests)
+    errors: list[BaseException] = []
+
+    def client() -> None:
+        while True:
+            taken = cursor.take()
+            if taken is None:
+                return
+            i, request = taken
+            try:
+                responses[i] = query(request)
+            except BaseException as exc:
+                with cursor.lock:
+                    errors.append(exc)
+                    cursor.next_index = len(requests)  # stop all clients
+                return
+
+    threads = [
+        threading.Thread(target=client, name=f"closed-loop-client-{i}", daemon=True)
+        for i in range(min(clients, max(1, len(requests))))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return responses  # type: ignore[return-value]
+
+
+def run_pipelined(
+    submit: Callable[[QueryRequest], "object"],
+    requests: Sequence[QueryRequest],
+    clients: int = 8,
+) -> list[QueryResponse]:
+    """Each client submits its share up front, then collects responses.
+
+    The pipelined model: clients tolerate response latency but not
+    admission latency (think dashboard tiles fanning out panel queries).
+    Because submits don't wait for completions, the service sees deep
+    per-preference queues — the regime where request batching actually
+    coalesces work. A lock-based service cannot be driven this way at
+    all: its blocking call *is* the admission. Responses come back in
+    request order.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    shards = [list(range(i, len(requests), clients)) for i in range(clients)]
+    futures: list[object | None] = [None] * len(requests)
+    errors: list[BaseException] = []
+
+    def client(shard: list[int]) -> None:
+        try:
+            for i in shard:
+                futures[i] = submit(requests[i])
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(shard,), name=f"pipelined-client-{i}")
+        for i, shard in enumerate(shards)
+        if shard
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return [future.result() for future in futures]  # type: ignore[union-attr]
+
+
+def run_open_loop(
+    submit: Callable[[QueryRequest], "object"],
+    requests: Sequence[QueryRequest],
+    rate: float,
+    seed: int = 0,
+) -> list[QueryResponse]:
+    """Submit at a Poisson ``rate`` and gather all responses.
+
+    ``submit`` must return a future with a ``result()`` method (the
+    service's :meth:`submit`). The producer never blocks on completions —
+    queueing and admission control absorb any mismatch between offered
+    and served rate, which is exactly what this driver measures.
+    """
+    futures = []
+    for delay, request in open_loop_arrivals(requests, rate, seed=seed):
+        time.sleep(delay)
+        futures.append(submit(request))
+    return [future.result() for future in futures]

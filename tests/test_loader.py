@@ -1,6 +1,5 @@
 """Tests for the CSV loader."""
 
-import numpy as np
 import pytest
 
 from repro.data.loader import load_csv

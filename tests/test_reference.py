@@ -1,7 +1,6 @@
 """Unit tests for the brute-force oracles."""
 
 import numpy as np
-import pytest
 
 from repro.core.reference import (
     brute_force_durable_topk,
