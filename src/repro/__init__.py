@@ -24,6 +24,7 @@ from repro.core.record import Dataset, Record
 from repro.core.streaming import StreamingDurableMonitor
 from repro.core.timeline import Timeline
 from repro.data.loader import load_csv
+from repro.ingest.live import LiveDataset
 from repro.scoring import (
     CosinePreference,
     LinearPreference,
@@ -44,6 +45,7 @@ __all__ = [
     "QueryStats",
     "DurableTopKEngine",
     "durable_topk",
+    "LiveDataset",
     "StreamingDurableMonitor",
     "Timeline",
     "choose_algorithm",

@@ -35,13 +35,14 @@ class EngineSession(QuerySession):
     :meth:`DurableTopKEngine.session`.
     """
 
-    __slots__ = ("engine", "scorer", "index")
+    __slots__ = ("engine", "scorer", "index", "dataset_version")
 
     def __init__(self, engine: "DurableTopKEngine", scorer) -> None:
         super().__init__(getattr(scorer, "u", None))
         self.engine = engine
         self.scorer = scorer
         self.index = engine._bound_index(scorer)
+        self.dataset_version = engine.dataset.version
 
     def query(
         self,
@@ -52,6 +53,13 @@ class EngineSession(QuerySession):
         """Answer ``query`` under the session's bound scoring function."""
         if self.closed:
             raise RuntimeError("session is closed")
+        if self.dataset_version != self.engine.dataset.version:
+            # The dataset advanced an epoch under this session (e.g. a
+            # newer live snapshot was swapped in): drop the stale index
+            # and rebind before answering.
+            self.clear()
+            self.index = self.engine._bound_index(self.scorer)
+            self.dataset_version = self.engine.dataset.version
         return self.engine.query(
             query, self.scorer, algorithm, with_durations, session=self
         )
@@ -143,6 +151,12 @@ class DurableTopKEngine:
         share an entry; a mutated ``u`` array would not, so preference
         vectors are treated as immutable (as all shipped scorers do).
 
+        The key also carries the dataset's content ``version``: frozen
+        snapshots of a live dataset stamp their epoch there, so an index
+        built for one epoch can never answer for another even if a newer
+        snapshot is swapped into ``self.dataset`` (growing datasets are
+        the one way a same-preference rebuild can become necessary).
+
         Thread-safe: lookups and LRU mutation happen under the cache lock,
         and a cold preference is built exactly once — concurrent
         first-touchers wait on the builder's event instead of racing
@@ -151,7 +165,11 @@ class DurableTopKEngine:
         u = getattr(scorer, "u", None)
         # u-less scorers key by the object itself (kept alive by the LRU
         # entry), so two distinct parameterisations never collide.
-        key = (type(scorer).__name__, scorer if u is None else tuple(u))
+        key = (
+            type(scorer).__name__,
+            scorer if u is None else tuple(u),
+            self.dataset.version,
+        )
         while True:
             with self._cache_lock:
                 cached = self._index_cache.get(key)

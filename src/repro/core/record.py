@@ -66,6 +66,12 @@ class Dataset:
         Optional names of the ``d`` attributes.
     name:
         Dataset name used in reports.
+    version:
+        Epoch stamp of the dataset's content. Frozen snapshots of a
+        :class:`~repro.ingest.live.LiveDataset` carry the live change
+        counter here; static datasets stay at 0. Derived-index caches
+        (the engine's preference LRU) key on it, so an index built for
+        one epoch can never serve another.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class Dataset:
         labels: Sequence[str] | None = None,
         attribute_names: Sequence[str] | None = None,
         name: str = "dataset",
+        version: int = 0,
     ) -> None:
         values = np.ascontiguousarray(np.asarray(values, dtype=float))
         if values.ndim != 2:
@@ -95,6 +102,7 @@ class Dataset:
             list(attribute_names) if attribute_names is not None else [f"x{i}" for i in range(d)]
         )
         self.name = name
+        self.version = int(version)
         # Keys are cache names plus ("building", name) in-flight markers.
         self._cache: dict[Any, Any] = {}
         self._cache_lock = threading.Lock()
@@ -185,6 +193,7 @@ class Dataset:
             labels=self.labels,
             attribute_names=[self.attribute_names[i] for i in idx],
             name=name or f"{self.name}-{len(idx)}",
+            version=self.version,
         )
 
     def prefix(self, n: int, name: str | None = None) -> "Dataset":
@@ -197,6 +206,7 @@ class Dataset:
             labels=self.labels[:n] if self.labels else None,
             attribute_names=self.attribute_names,
             name=name or f"{self.name}-{n}",
+            version=self.version,
         )
 
     def reversed(self) -> "Dataset":
@@ -213,6 +223,7 @@ class Dataset:
                 labels=list(reversed(self.labels)) if self.labels else None,
                 attribute_names=self.attribute_names,
                 name=f"{self.name}-reversed",
+                version=self.version,
             ),
         )
 

@@ -7,12 +7,20 @@ Usage::
     python -m repro run all --out results/
     python -m repro serve-bench --out results/
     python -m repro serve-bench --smoke
+    python -m repro ingest-bench --out results/
+    python -m repro ingest-bench --smoke
+    python -m repro stream --workload nba2 --k 3 --tau 500 --lookahead
 
 Each experiment prints the same table/series its benchmark counterpart
 saves, so results can be regenerated without pytest. ``serve-bench``
 drives the concurrent serving layer (naive lock vs session-pooled
-service); ``--smoke`` runs it small with serial verification and exits
-non-zero on any rejected or incorrect response — the CI gate.
+service); ``ingest-bench`` drives the live ingestion pipeline (appends
+racing queries) and reports throughput, latency and freshness; for both,
+``--smoke`` runs small with serial verification and exits non-zero on
+any rejected or incorrect response — the CI gates. ``stream`` replays a
+dataset as an arrival stream through the online
+:class:`~repro.core.streaming.StreamingDurableMonitor` and prints each
+record's durability decision the moment it is decidable.
 """
 
 from __future__ import annotations
@@ -141,6 +149,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("results"),
         help="directory for service_throughput.txt (default: results/)",
     )
+
+    ingest = sub.add_parser(
+        "ingest-bench",
+        help="benchmark live ingestion (appends racing durable top-k queries)",
+    )
+    ingest.add_argument("--n", type=int, default=40_000, help="seeded dataset size")
+    ingest.add_argument("--requests", type=int, default=800, help="requests per round")
+    ingest.add_argument("--clients", type=int, default=4, help="client threads")
+    ingest.add_argument("--workers", type=int, default=4, help="service worker threads")
+    ingest.add_argument("--writers", type=int, default=1, help="writer threads")
+    ingest.add_argument(
+        "--batch-rows", type=int, default=64, help="rows per append micro-batch"
+    )
+    ingest.add_argument(
+        "--preferences", type=int, default=32, help="distinct preference vectors"
+    )
+    ingest.add_argument("--seal-rows", type=int, default=4096, help="tail size per seal")
+    ingest.add_argument(
+        "--verify", type=int, default=0, metavar="SAMPLE",
+        help="re-derive SAMPLE responses serially against the oracle",
+    )
+    ingest.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run verifying every response; exit 1 on any mismatch",
+    )
+    ingest.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for ingest_throughput.txt (default: results/)",
+    )
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a dataset as an arrival stream of durability decisions",
+    )
+    stream.add_argument(
+        "--workload", default="nba2", choices=["nba2", "network2", "ind"],
+        help="dataset to replay",
+    )
+    stream.add_argument("--n", type=int, default=2_000, help="records to replay")
+    stream.add_argument("--k", type=int, default=3, help="rank threshold")
+    stream.add_argument("--tau", type=int, default=200, help="durability duration")
+    stream.add_argument(
+        "--weights", default=None,
+        help="comma-separated preference weights (default: uniform)",
+    )
+    stream.add_argument(
+        "--lookahead", action="store_true",
+        help="also resolve look-ahead durability as later arrivals decide it",
+    )
+    stream.add_argument(
+        "--limit", type=int, default=25,
+        help="print at most this many durable arrivals (summary always prints)",
+    )
     return parser
 
 
@@ -186,6 +250,110 @@ def _serve_bench(args) -> int:
     return 0
 
 
+def _ingest_bench(args) -> int:
+    from repro.experiments.ingest_bench import SMOKE_DEFAULTS, ingest_throughput_bench
+
+    kwargs = {
+        "n0": args.n,
+        "requests": args.requests,
+        "clients": args.clients,
+        "workers": args.workers,
+        "writers": args.writers,
+        "batch_rows": args.batch_rows,
+        "n_preferences": args.preferences,
+        "seal_rows": args.seal_rows,
+        "verify_sample": args.verify,
+    }
+    if args.smoke:
+        kwargs.update(SMOKE_DEFAULTS)
+    start = time.perf_counter()
+    result = ingest_throughput_bench(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(result.report)
+    print(f"[ingest-bench finished in {elapsed:.1f}s]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"{result.name}.txt").write_text(result.report + "\n")
+    if args.smoke:
+        failures = []
+        if result.data["incorrect"]:
+            failures.append(f"{result.data['incorrect']} incorrect response(s)")
+        if result.data["rejected"]:
+            failures.append(f"{result.data['rejected']} rejected response(s)")
+        if not result.data["seals"]:
+            failures.append("the background sealer never sealed a segment")
+        if failures:
+            print("SMOKE FAILURE: " + "; ".join(failures))
+            return 1
+        print(
+            "smoke ok: all responses served while ingesting and serially re-derived"
+        )
+    return 0
+
+
+def _stream(args) -> int:
+    from repro.core.streaming import StreamingDurableMonitor
+    from repro.scoring import LinearPreference
+
+    if args.workload == "nba2":
+        from repro.experiments.figures import nba2_dataset
+
+        data = nba2_dataset(args.n)
+    elif args.workload == "network2":
+        from repro.experiments.figures import network2_dataset
+
+        data = network2_dataset(args.n)
+    else:
+        from repro.data import independent_uniform
+
+        data = independent_uniform(args.n, 2, seed=0)
+    if args.weights is not None:
+        weights = [float(w) for w in args.weights.split(",")]
+    else:
+        weights = [1.0 / data.d] * data.d
+    scorer = LinearPreference(weights)
+    scorer.validate_for(data.d)
+    scores = scorer.scores(data.values)
+
+    monitor = StreamingDurableMonitor(args.k, args.tau, track_lookahead=args.lookahead)
+    print(
+        f"streaming {data.name}: n={data.n}, k={args.k}, tau={args.tau}, "
+        f"u={[round(w, 4) for w in weights]}"
+        + (" (+look-ahead)" if args.lookahead else "")
+    )
+    printed = 0
+    ahead_durable = 0
+    for t in range(data.n):
+        durable, resolutions = monitor.append(scores[t])
+        if durable and printed < args.limit:
+            rec = data.record(t)
+            stamp = rec.timestamp if rec.timestamp is not None else t
+            label = f" {rec.label}" if rec.label else ""
+            print(
+                f"  t={t} [{stamp}]{label} score={scores[t]:.4f} "
+                f"durable on arrival (top-{args.k} of its last {args.tau})"
+            )
+            printed += 1
+        for res in resolutions:
+            ahead_durable += res.durable
+            if res.durable and printed < args.limit:
+                print(
+                    f"  t={res.t} look-ahead durable "
+                    f"(stood {args.tau} arrivals, decided at t={res.decided_at})"
+                )
+                printed += 1
+    for res in monitor.finish():
+        ahead_durable += res.durable
+    total = len(monitor.durable_ids)
+    if total > printed:
+        print(f"  ... and more (printed {printed}, use --limit to raise)")
+    print(
+        f"{total}/{data.n} records look-back durable on arrival"
+        + (f"; {ahead_durable} look-ahead durable" if args.lookahead else "")
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -194,6 +362,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "serve-bench":
         return _serve_bench(args)
+    if args.command == "ingest-bench":
+        return _ingest_bench(args)
+    if args.command == "stream":
+        return _stream(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -1,0 +1,45 @@
+"""Live ingestion: durable top-k over a *growing* dataset.
+
+The paper's indexes are bulk-built over a frozen time domain; this
+package adds the write path that production serving needs — an
+LSM-flavoured live dataset:
+
+* **Tail** — appends land in a mutable, append-only in-memory buffer
+  (:class:`~repro.ingest.segments.TailBuffer`); queries answer the tail
+  with the same skyband/top-k machinery the offline algorithms use.
+* **Segments** — a sealer freezes the tail into immutable
+  :class:`~repro.ingest.segments.Segment` runs, each carrying its own
+  per-preference top-k index; a compactor merges small adjacent segments
+  into larger ones (single-flighted, like every other build in this
+  library).
+* **Stitching** — :class:`~repro.ingest.segments.SegmentedTopKIndex`
+  merges per-segment top-k answers into a building block whose answers
+  are *exactly* those of one index over the full dataset, so the
+  unmodified T-Base/T-Hop algorithms run over a
+  :class:`~repro.ingest.live.LiveDataset` and return byte-identical
+  results to an offline rebuild — including windows straddling the
+  tail/segment boundary.
+* **Durability** — :class:`~repro.ingest.wal.WriteAheadLog` provides the
+  checksummed, group-committed append log the paged MiniDB store
+  (:class:`repro.minidb.live.LiveMiniDB`) replays on reopen.
+
+The serving layer plugs in through
+:class:`repro.service.backends.LiveBackend`, so reads and writes run
+concurrently: queries snapshot the segment list epoch-style (one
+immutable state object, swapped atomically — no reader locks on the hot
+path) while appends and seals publish new states.
+"""
+
+from repro.ingest.live import LiveDataset, LiveSnapshot
+from repro.ingest.segments import Segment, SegmentedTopKIndex, TailBuffer
+from repro.ingest.wal import WalRecoveryReport, WriteAheadLog
+
+__all__ = [
+    "LiveDataset",
+    "LiveSnapshot",
+    "Segment",
+    "SegmentedTopKIndex",
+    "TailBuffer",
+    "WalRecoveryReport",
+    "WriteAheadLog",
+]

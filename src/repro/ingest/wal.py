@@ -1,0 +1,156 @@
+"""Checksummed write-ahead log for row appends.
+
+The log is the durability half of the ingest pipeline: a row is
+recoverable once its WAL entry is flushed, long before the sealer packs
+it into heap pages. The format is deliberately boring — a fixed header
+followed by fixed-width entries — because recovery must be decidable
+from the bytes alone:
+
+* header: magic ``b"RWAL1\\0"`` + ``<I`` attribute count ``d`` + ``<Q``
+  generation;
+* entry: ``d`` little-endian float64 attributes + ``<I`` CRC32 of the
+  payload.
+
+Appends are buffered (group commit); :meth:`flush` drains the buffer and
+optionally fsyncs. On open, the log scans forward entry by entry and
+stops at the first short or checksum-failing entry — the torn tail a
+crash mid-append leaves behind — truncating the file back to the last
+whole entry, so a reopened log is always consistent and appendable.
+
+The **generation** makes log truncation a transaction the store's
+manifest can order against: :meth:`reset` bumps it, so a manifest that
+recorded "generation ``g`` is sealed" lets recovery distinguish a log
+whose truncate never happened (same generation — drop the entries, they
+are already in pages) from fresh post-seal appends (later generation —
+replay them). Without it, a crash between the manifest commit and the
+WAL truncate would replay every just-sealed row a second time.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["WriteAheadLog", "WalRecoveryReport"]
+
+_MAGIC = b"RWAL1\x00"
+_HEADER = struct.Struct(f"<{len(_MAGIC)}sIQ")
+
+
+@dataclass(frozen=True)
+class WalRecoveryReport:
+    """What :class:`WriteAheadLog` found (and dropped) on open."""
+
+    rows: np.ndarray
+    #: Bytes of torn/corrupt tail discarded by truncation (0 = clean).
+    torn_bytes: int
+
+
+class WriteAheadLog:
+    """Append-only, checksummed log of fixed-width float rows.
+
+    Parameters
+    ----------
+    path:
+        Log file location; created (with its header) when absent.
+    d:
+        Attributes per row. Must match the header of an existing log.
+    """
+
+    def __init__(self, path: str | Path, d: int) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.path = Path(path)
+        self.d = d
+        self.generation = 0
+        self._entry = struct.Struct(f"<{d}dI")
+        self._pending = bytearray()
+        created = not self.path.exists()
+        self._file = open(self.path, "a+b")
+        if created or self.path.stat().st_size == 0:
+            self._file.write(_HEADER.pack(_MAGIC, d, 0))
+            self._file.flush()
+            self._recovered = WalRecoveryReport(np.empty((0, d)), torn_bytes=0)
+        else:
+            self._recovered = self._scan_and_truncate()
+
+    @property
+    def recovered(self) -> WalRecoveryReport:
+        """Rows recovered from the file at open time."""
+        return self._recovered
+
+    def _scan_and_truncate(self) -> WalRecoveryReport:
+        self._file.seek(0)
+        raw = self._file.read()
+        if len(raw) < _HEADER.size:
+            raise ValueError(f"{self.path} is not a WAL file (truncated header)")
+        magic, d, generation = _HEADER.unpack_from(raw)
+        if magic != _MAGIC:
+            raise ValueError(f"{self.path} is not a WAL file (bad magic)")
+        if d != self.d:
+            raise ValueError(f"WAL holds {d}-attribute rows, expected {self.d}")
+        self.generation = generation
+        size = self._entry.size
+        rows: list[tuple[float, ...]] = []
+        offset = _HEADER.size
+        while offset + size <= len(raw):
+            *values, crc = self._entry.unpack_from(raw, offset)
+            if zlib.crc32(raw[offset : offset + 8 * self.d]) != crc:
+                break  # torn or corrupt: everything from here on is dead
+            rows.append(tuple(values))
+            offset += size
+        torn = len(raw) - offset
+        if torn:
+            self._file.truncate(offset)
+        self._file.seek(0, os.SEEK_END)
+        recovered = np.array(rows, dtype=float) if rows else np.empty((0, self.d))
+        return WalRecoveryReport(recovered.reshape(len(rows), self.d), torn_bytes=torn)
+
+    def append(self, row: np.ndarray) -> None:
+        """Buffer one row; durable only after the next :meth:`flush`."""
+        payload = struct.pack(f"<{self.d}d", *(float(v) for v in row))
+        self._pending += payload + struct.pack("<I", zlib.crc32(payload))
+
+    def flush(self, sync: bool = False) -> None:
+        """Write buffered entries out; ``sync`` additionally fsyncs."""
+        if self._pending:
+            self._file.write(bytes(self._pending))
+            self._pending.clear()
+        self._file.flush()
+        if sync:
+            os.fsync(self._file.fileno())
+
+    def reset(self, generation: int | None = None) -> None:
+        """Drop every logged entry and advance the generation.
+
+        Called after a seal made the entries durable in page storage.
+        The header is rewritten in place with the bumped generation (or
+        an explicit one — recovery uses that to restore the invariant
+        ``wal.generation > sealed generation``), so a reopen can tell
+        "these entries were already sealed" (old generation still on
+        disk) from "these arrived after the seal" (bumped generation).
+        """
+        self._pending.clear()
+        self.generation = self.generation + 1 if generation is None else generation
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._file.write(_HEADER.pack(_MAGIC, self.d, self.generation))
+        self._file.flush()
+        self._file.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        """Flush and release the file handle."""
+        if not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -14,7 +14,10 @@ mechanics at laptop scale:
   per-block skylines, stored in pages, enabling branch-and-bound range
   top-k with page-level access costs;
 * :mod:`repro.minidb.procedures` — T-Base and T-Hop written against the
-  page API only, as the paper's stored procedures are.
+  page API only, as the paper's stored procedures are;
+* :mod:`repro.minidb.live` — the append path: a directory-backed store
+  with a write-ahead log, append pages, per-segment index tables and
+  recovery-on-open (see the ingest pipeline in :mod:`repro.ingest`).
 
 The reproduced claim is *shape*: T-Hop touches a near-constant number of
 pages per query while T-Base's sliding window scans the whole interval,
@@ -24,6 +27,7 @@ so the gap widens with data size exactly as in Tables IV–VI.
 from repro.minidb.blockindex import BlockSkylineIndex
 from repro.minidb.buffer import BufferPool
 from repro.minidb.database import MiniDB
+from repro.minidb.live import LiveMiniDB
 from repro.minidb.pager import PAGE_SIZE, Pager
 from repro.minidb.procedures import t_base_procedure, t_hop_procedure
 from repro.minidb.session import MiniDBSession
@@ -35,6 +39,7 @@ __all__ = [
     "BufferPool",
     "HeapTable",
     "BlockSkylineIndex",
+    "LiveMiniDB",
     "MiniDB",
     "MiniDBSession",
     "t_base_procedure",

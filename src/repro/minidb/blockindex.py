@@ -47,7 +47,13 @@ class _Block:
 
 
 class BlockSkylineIndex:
-    """Hierarchical skyline summaries with page-level access accounting."""
+    """Hierarchical skyline summaries with page-level access accounting.
+
+    ``row_base`` offsets every stored row id: a live segment's index is
+    built over the segment's values only but addresses the global row
+    space, so cross-segment queries merge per-segment answers without
+    translation. Bulk builds keep the default base 0.
+    """
 
     def __init__(
         self,
@@ -56,13 +62,17 @@ class BlockSkylineIndex:
         buffer_pool: BufferPool,
         block_rows: int = 256,
         fanout: int = 8,
+        row_base: int = 0,
     ) -> None:
         if block_rows < 1 or fanout < 2:
             raise ValueError("need block_rows >= 1 and fanout >= 2")
+        if row_base < 0:
+            raise ValueError(f"row_base must be >= 0, got {row_base}")
         values = np.asarray(values, dtype=float)
         self.d = values.shape[1]
         self.block_rows = block_rows
         self.fanout = fanout
+        self.row_base = row_base
         self._buffer = buffer_pool
         self._pager = pager
         self._point_bytes = 8 * (self.d + 1)  # row id (as float) + attributes
@@ -84,7 +94,9 @@ class BlockSkylineIndex:
             for i in range(0, len(level), fanout):
                 group = level[i : i + fanout]
                 parents.append(
-                    self._make_block(values, group[0].lo, group[-1].hi, group)
+                    self._make_block(
+                        values, group[0].lo - row_base, group[-1].hi - row_base, group
+                    )
                 )
             level = parents
             self.n_levels += 1
@@ -96,20 +108,21 @@ class BlockSkylineIndex:
     # Construction
     # ------------------------------------------------------------------
     def _make_block(self, values: np.ndarray, lo: int, hi: int, children) -> _Block:
+        """Build one block; ``lo``/``hi`` are *local* (pre-offset) rows."""
         if children is None:
             rows = np.arange(lo, hi + 1)
         else:
             # The union of children's skylines contains the group skyline;
             # recomputing over it keeps build cost near-linear.
             rows = np.concatenate(
-                [self._cached_rows[(c.lo, c.hi)] for c in children]
+                [self._cached_rows[(c.lo - self.row_base, c.hi - self.row_base)] for c in children]
             )
         sky = rows[skyline_indices(values[rows])]
         self._cached_rows[(lo, hi)] = sky
         offset = self._next_point
         for row in sky:
-            self._append_point(int(row), values[row])
-        return _Block(lo, hi, offset, len(sky), children)
+            self._append_point(int(row) + self.row_base, values[row])
+        return _Block(lo + self.row_base, hi + self.row_base, offset, len(sky), children)
 
     def _append_point(self, row_id: int, attrs: np.ndarray) -> None:
         self._page_buffer += struct.pack(self._fmt, float(row_id), *attrs)
@@ -254,12 +267,31 @@ class BlockSkylineIndex:
         fresh session/dict per durable query; never reuse across
         preference vectors.
         """
+        ids, _ = self.topk_with_scores(table, u, k, lo, hi, ub_cache=ub_cache, session=session)
+        return ids
+
+    def topk_with_scores(
+        self,
+        table: HeapTable,
+        u: np.ndarray,
+        k: int,
+        lo: int,
+        hi: int,
+        ub_cache: dict | None = None,
+        session: MiniDBSession | None = None,
+    ) -> tuple[list[int], list[float]]:
+        """:meth:`topk` plus each winner's score (no extra page reads).
+
+        The scores come from the candidate buffers the search already
+        filled, so callers merging answers across segment indexes (the
+        live MiniDB read path) pay no additional accounting.
+        """
         if self.root is None or k <= 0:
-            return []
-        lo = max(lo, 0)
-        hi = min(hi, table.n_rows - 1)
+            return [], []
+        lo = max(lo, 0, self.root.lo)
+        hi = min(hi, table.n_rows - 1, self.root.hi)
         if hi < lo:
-            return []
+            return [], []
         if session is None:
             session = MiniDBSession(u)
             if ub_cache is not None:
@@ -318,4 +350,62 @@ class BlockSkylineIndex:
                 kth_score = float(np.partition(scores_buf[:m], m - k)[m - k])
         ids_v, scores_v = ids_buf[:m], scores_buf[:m]
         order = np.lexsort((ids_v, scores_v))[::-1][:k]
-        return [int(i) for i in ids_v[order]]
+        return [int(i) for i in ids_v[order]], [float(s) for s in scores_v[order]]
+
+    # ------------------------------------------------------------------
+    # Catalog (de)serialisation — the recovery path
+    # ------------------------------------------------------------------
+    def to_catalog(self) -> dict:
+        """JSON-safe description of the block tree and page placement.
+
+        The skyline *points* live in pages and survive in the data file;
+        this catalog is the in-memory metadata needed to address them
+        again, persisted in the live store's manifest so a reopened
+        database serves the exact same index (same pages, same block
+        structure, same accounting) without a rebuild.
+        """
+
+        def encode(block: _Block) -> list:
+            children = None
+            if block.children is not None:
+                children = [encode(child) for child in block.children]
+            return [block.lo, block.hi, block.point_offset, block.n_points, children]
+
+        return {
+            "d": self.d,
+            "block_rows": self.block_rows,
+            "fanout": self.fanout,
+            "row_base": self.row_base,
+            "first_page": self._first_page,
+            "n_levels": self.n_levels,
+            "root": None if self.root is None else encode(self.root),
+        }
+
+    @classmethod
+    def from_catalog(
+        cls, catalog: dict, pager: Pager, buffer_pool: BufferPool
+    ) -> "BlockSkylineIndex":
+        """Re-attach an index whose pages already exist (recovery path)."""
+        index = cls.__new__(cls)
+        index.d = catalog["d"]
+        index.block_rows = catalog["block_rows"]
+        index.fanout = catalog["fanout"]
+        index.row_base = catalog["row_base"]
+        index._buffer = buffer_pool
+        index._pager = pager
+        index._point_bytes = 8 * (index.d + 1)
+        index._points_per_page = pager.page_size // index._point_bytes
+        index._first_page = catalog["first_page"]
+        index._next_point = 0
+        index._page_buffer = bytearray()
+        index._fmt = f"<{index.d + 1}d"
+        index._cached_rows = {}
+        index.n_levels = catalog["n_levels"]
+
+        def decode(encoded) -> _Block:
+            lo, hi, point_offset, n_points, children = encoded
+            decoded = None if children is None else [decode(child) for child in children]
+            return _Block(lo, hi, point_offset, n_points, decoded)
+
+        index.root = None if catalog["root"] is None else decode(catalog["root"])
+        return index

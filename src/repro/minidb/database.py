@@ -11,7 +11,44 @@ from repro.minidb.pager import PAGE_SIZE, Pager
 from repro.minidb.session import MiniDBSession
 from repro.minidb.table import HeapTable
 
-__all__ = ["MiniDB"]
+__all__ = ["MiniDB", "buffered_score_of"]
+
+
+def buffered_score_of(
+    table: HeapTable,
+    buffer: BufferPool,
+    u: np.ndarray,
+    row_id: int,
+    session: MiniDBSession | None = None,
+) -> float:
+    """One row's preference score via a buffered page read.
+
+    With a ``session``, the row's whole page is decoded and scored on
+    first touch and later lookups on the same page are served from the
+    cached vector — still charging one buffered page read per call,
+    exactly like the uncached path. Shared by the bulk-loaded
+    :class:`MiniDB` and the live append store.
+    """
+    if session is None:
+        row = table.read_row(row_id)
+        return float(np.dot(row, u))
+    if u is not session.u and not np.array_equal(u, session.u):
+        raise ValueError(
+            "session was opened for a different preference vector; "
+            "open one per preference via MiniDB.session()"
+        )
+    page_id, slot = table.page_of(row_id)
+    scores = session.page_scores.get(page_id)
+    # A live store's seal may have topped up this page since the vector
+    # was cached (rows are only ever appended, so a short vector is
+    # stale-but-correct for its own slots); re-decode when the lookup
+    # reaches past it.
+    if scores is None or slot >= len(scores):
+        scores = table.read_page_rows(page_id) @ session.u
+        session.page_scores[page_id] = scores
+    else:
+        buffer.get(page_id)  # replay the single page read
+    return float(scores[slot])
 
 
 class MiniDB:
@@ -98,22 +135,7 @@ class MiniDB:
         cached vector — still charging one buffered page read per call,
         exactly like the uncached path.
         """
-        if session is None:
-            row = self.table.read_row(row_id)
-            return float(np.dot(row, u))
-        if u is not session.u and not np.array_equal(u, session.u):
-            raise ValueError(
-                "session was opened for a different preference vector; "
-                "open one per preference via MiniDB.session()"
-            )
-        page_id, slot = self.table.page_of(row_id)
-        scores = session.page_scores.get(page_id)
-        if scores is None:
-            scores = self.table.read_page_rows(page_id) @ session.u
-            session.page_scores[page_id] = scores
-        else:
-            self.buffer.get(page_id)  # replay the single page read
-        return float(scores[slot])
+        return buffered_score_of(self.table, self.buffer, u, row_id, session)
 
     def reset_io(self, cold: bool = False) -> None:
         """Zero the I/O counters; with ``cold`` also empty the buffer pool."""

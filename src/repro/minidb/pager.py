@@ -1,8 +1,10 @@
-"""Fixed-size page storage over a real temporary file."""
+"""Fixed-size page storage over a real file (anonymous or path-backed)."""
 
 from __future__ import annotations
 
+import os
 import tempfile
+from pathlib import Path
 
 __all__ = ["PAGE_SIZE", "Pager"]
 
@@ -12,18 +14,33 @@ PAGE_SIZE = 4096
 
 
 class Pager:
-    """Page-granular reads/writes backed by an anonymous temp file.
+    """Page-granular reads/writes backed by a real file.
 
     Page ids are dense non-negative integers; pages are exactly
-    ``page_size`` bytes (short writes are zero-padded).
+    ``page_size`` bytes (short writes are zero-padded). Without ``path``
+    the backing file is an anonymous temp file (the classic MiniDB
+    setup); with ``path`` it is a named file that survives :meth:`close`
+    — the live append path opens it again on recovery, truncating any
+    torn trailing partial page a crash left behind.
     """
 
-    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+    def __init__(self, page_size: int = PAGE_SIZE, path: str | Path | None = None) -> None:
         if page_size < 64:
             raise ValueError(f"page_size must be >= 64 bytes, got {page_size}")
         self.page_size = page_size
-        self._file = tempfile.TemporaryFile(prefix="minidb-")
-        self._n_pages = 0
+        self.path = None if path is None else Path(path)
+        if self.path is None:
+            self._file = tempfile.TemporaryFile(prefix="minidb-")
+            self._n_pages = 0
+        else:
+            existed = self.path.exists()
+            self._file = open(self.path, "r+b" if existed else "w+b")
+            size = self.path.stat().st_size if existed else 0
+            # A crash mid-write can leave a trailing partial page; only
+            # whole pages are addressable, so drop the torn remainder.
+            self._n_pages = size // page_size
+            if size != self._n_pages * page_size:
+                self._file.truncate(self._n_pages * page_size)
         self.physical_reads = 0
         self.physical_writes = 0
 
@@ -59,6 +76,18 @@ class Pager:
         self._file.seek(page_id * self.page_size)
         self.physical_reads += 1
         return self._file.read(self.page_size)
+
+    def truncate(self, n_pages: int) -> None:
+        """Discard pages beyond ``n_pages`` (recovery rollback)."""
+        if not 0 <= n_pages <= self._n_pages:
+            raise ValueError(f"n_pages {n_pages} out of range [0, {self._n_pages}]")
+        self._file.truncate(n_pages * self.page_size)
+        self._n_pages = n_pages
+
+    def sync(self) -> None:
+        """Flush written pages down to the storage device."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def close(self) -> None:
         """Release the backing file."""

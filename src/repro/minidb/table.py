@@ -10,6 +10,12 @@ real DBMS (PostgreSQL spends ~23 bytes of tuple header plus item pointer
 and alignment per row). Without it, narrow laptop-scale tables would fit
 entirely inside the buffer pool and the paged experiments would measure
 nothing.
+
+The table keeps a page table (``row page index -> page id``) rather than
+assuming its pages are contiguous in the file: the live append path
+interleaves heap pages with per-segment index pages, so a bulk-loaded
+run and later appended runs may sit apart. Bulk loads still produce the
+same dense layout as before.
 """
 
 from __future__ import annotations
@@ -56,7 +62,8 @@ class HeapTable:
                 f"a {pager.page_size}-byte page cannot hold a {self.row_bytes}-byte row"
             )
         self.n_rows = 0
-        self._first_page: int | None = None
+        self._pages: list[int] = []  # row page index -> page id
+        self._page_index: dict[int, int] = {}  # page id -> row page index
         self._fmt = f"<{d}d"
 
     @classmethod
@@ -70,28 +77,88 @@ class HeapTable:
         """Bulk-load an ``(n, d)`` matrix into a fresh table."""
         values = np.ascontiguousarray(values, dtype="<f8")
         table = cls(pager, buffer_pool, values.shape[1], tuple_header_bytes)
-        table._first_page = pager.n_pages
-        rpp = table.rows_per_page
-        for start in range(0, len(values), rpp):
-            chunk = values[start : start + rpp]
-            page = np.zeros((len(chunk), table.row_bytes), dtype=np.uint8)
-            page[:, : table.payload_bytes] = chunk.view(np.uint8).reshape(
-                len(chunk), table.payload_bytes
-            )
-            pager.write_page(pager.n_pages, page.tobytes())
-        table.n_rows = len(values)
+        table.append_rows(values)
         return table
+
+    @classmethod
+    def attach(
+        cls,
+        pager: Pager,
+        buffer_pool: BufferPool,
+        d: int,
+        pages: list[int],
+        n_rows: int,
+        tuple_header_bytes: int = TUPLE_HEADER_BYTES,
+    ) -> "HeapTable":
+        """Re-attach a table whose pages already exist (recovery path)."""
+        table = cls(pager, buffer_pool, d, tuple_header_bytes)
+        if n_rows > len(pages) * table.rows_per_page:
+            raise ValueError(f"{n_rows} rows cannot fit in {len(pages)} pages")
+        table.n_rows = n_rows
+        table._pages = list(pages)
+        table._page_index = {page_id: i for i, page_id in enumerate(pages)}
+        return table
+
+    def append_rows(self, values: np.ndarray) -> int:
+        """Append ``(m, d)`` rows; returns the first new row id.
+
+        Fills the trailing partial page in place (read-modify-write
+        through the pager, with the stale buffered copy invalidated),
+        then packs the remainder into freshly allocated pages — the
+        append pages of the live ingest path.
+        """
+        values = np.ascontiguousarray(values, dtype="<f8")
+        if values.ndim != 2 or values.shape[1] != self.d:
+            raise ValueError(f"values must be (m, {self.d}), got {values.shape}")
+        first_new = self.n_rows
+        if len(values) == 0:
+            return first_new
+        rpp = self.rows_per_page
+        start = 0
+        slot = self.n_rows % rpp
+        if slot:
+            # Top up the partial last page.
+            page_id = self._pages[-1]
+            take = min(rpp - slot, len(values))
+            data = bytearray(self._pager.read_page(page_id))
+            chunk = values[:take]
+            packed = np.zeros((take, self.row_bytes), dtype=np.uint8)
+            packed[:, : self.payload_bytes] = chunk.view(np.uint8).reshape(
+                take, self.payload_bytes
+            )
+            data[slot * self.row_bytes : (slot + take) * self.row_bytes] = packed.tobytes()
+            self._pager.write_page(page_id, bytes(data))
+            self._buffer.invalidate(page_id)
+            start = take
+        while start < len(values):
+            chunk = values[start : start + rpp]
+            packed = np.zeros((len(chunk), self.row_bytes), dtype=np.uint8)
+            packed[:, : self.payload_bytes] = chunk.view(np.uint8).reshape(
+                len(chunk), self.payload_bytes
+            )
+            page_id = self._pager.n_pages
+            self._pager.write_page(page_id, packed.tobytes())
+            self._page_index[page_id] = len(self._pages)
+            self._pages.append(page_id)
+            start += len(chunk)
+        self.n_rows += len(values)
+        return first_new
 
     @property
     def n_pages(self) -> int:
         """Number of data pages the table occupies."""
-        return (self.n_rows + self.rows_per_page - 1) // self.rows_per_page
+        return len(self._pages)
+
+    @property
+    def pages(self) -> list[int]:
+        """Page ids in row order (manifest serialisation)."""
+        return list(self._pages)
 
     def _page_of(self, row_id: int) -> tuple[int, int]:
         if not 0 <= row_id < self.n_rows:
             raise IndexError(f"row {row_id} out of range [0, {self.n_rows})")
         page_index, slot = divmod(row_id, self.rows_per_page)
-        return self._first_page + page_index, slot
+        return self._pages[page_index], slot
 
     def page_of(self, row_id: int) -> tuple[int, int]:
         """``(page_id, slot)`` address of a row (no page access)."""
@@ -134,10 +201,10 @@ class HeapTable:
         hi = min(hi, self.n_rows - 1)
         if hi < lo:
             return
-        first_page, _ = self._page_of(lo)
-        last_page, _ = self._page_of(hi)
-        for page_id in range(first_page, last_page + 1):
-            self._buffer.get(page_id)
+        first_index = lo // self.rows_per_page
+        last_index = hi // self.rows_per_page
+        for page_index in range(first_index, last_index + 1):
+            self._buffer.get(self._pages[page_index])
 
     def read_page_rows(self, page_id: int) -> np.ndarray:
         """All rows stored on one data page as an ``(m, d)`` array.
@@ -146,9 +213,9 @@ class HeapTable:
         decoded in bulk, so per-row score lookups can be served from a
         page-level cache.
         """
-        if self._first_page is None:
-            raise IndexError("table holds no pages")
-        page_index = page_id - self._first_page
+        page_index = self._page_index.get(page_id)
+        if page_index is None:
+            raise IndexError(f"page {page_id} holds no rows of this table")
         start_row = page_index * self.rows_per_page
         if not 0 <= start_row < self.n_rows:
             raise IndexError(f"page {page_id} holds no rows of this table")

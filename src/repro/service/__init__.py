@@ -8,7 +8,7 @@ workload generation and SLO metrics. See ``README.md`` ("Serving layer")
 and ``EXPERIMENTS.md`` ("The service throughput benchmark").
 """
 
-from repro.service.backends import EngineBackend, MiniDBBackend
+from repro.service.backends import EngineBackend, LiveBackend, MiniDBBackend
 from repro.service.metrics import MetricsCollector, MetricsSnapshot, percentile
 from repro.service.pool import SessionPool
 from repro.service.request import (
@@ -32,6 +32,7 @@ from repro.service.workload import (
 __all__ = [
     "DurableTopKService",
     "EngineBackend",
+    "LiveBackend",
     "LockedEngineService",
     "MetricsCollector",
     "MetricsSnapshot",

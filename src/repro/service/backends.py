@@ -20,6 +20,12 @@ session. Two backends ship:
   reads, the per-query page accounting is byte-identical to a serial,
   session-free run (the invariant `tests/test_service.py` pins under
   concurrency).
+* :class:`LiveBackend` — a growing
+  :class:`~repro.ingest.live.LiveDataset`. Queries snapshot the segment
+  list epoch-style and run lock-free against immutable state, so reads
+  proceed *while* appends, seals and compactions land; every response
+  records the snapshot it served (``extra["snapshot_n"]``), which is
+  what the freshness metrics and the serial re-derivation gate key on.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from repro.core.session import QuerySession
 from repro.minidb.procedures import t_base_procedure, t_hop_procedure
 from repro.service.request import QueryRequest
 
-__all__ = ["EngineBackend", "MiniDBBackend"]
+__all__ = ["EngineBackend", "LiveBackend", "MiniDBBackend"]
 
 
 class EngineBackend:
@@ -54,6 +60,39 @@ class EngineBackend:
 
     def close(self) -> None:
         """Nothing to release; indexes belong to the engine/dataset."""
+
+
+class LiveBackend:
+    """Serve requests over a growing :class:`LiveDataset`.
+
+    The read path takes no locks: each query grabs the live dataset's
+    current immutable state (segments + tail prefix) and answers over
+    it. Sessions exist to satisfy the pooling contract — the heavy warm
+    state (per-segment preference-bound indexes) lives on the immutable
+    segments themselves, shared by every session and surviving session
+    eviction, so a pool miss costs almost nothing here.
+    """
+
+    name = "live"
+
+    def __init__(self, live) -> None:
+        self.live = live
+
+    def make_session(self, scorer) -> QuerySession:
+        scorer.validate_for(self.live.d)
+        return QuerySession(getattr(scorer, "u", None))
+
+    def execute(self, session, request: QueryRequest) -> DurableTopKResult:
+        result = self.live.query(
+            request.as_query(), request.scorer, algorithm=request.algorithm
+        )
+        # Freshness: how many rows landed while this query executed.
+        result.extra["staleness_rows"] = max(0, self.live.n - result.extra["snapshot_n"])
+        return result
+
+    def close(self) -> None:
+        """Stop the live dataset's maintenance thread."""
+        self.live.close()
 
 
 class MiniDBBackend:

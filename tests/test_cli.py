@@ -40,3 +40,44 @@ class TestRun:
         code = main(["run", "fig12", "--workload", "anti", "--n", "2000", "--preferences", "1"])
         assert code == 0
         assert "ANTI" in capsys.readouterr().out
+
+
+class TestStream:
+    def test_stream_replays_arrival_decisions(self, capsys):
+        code = main(
+            ["stream", "--workload", "ind", "--n", "300", "--k", "2",
+             "--tau", "40", "--lookahead", "--limit", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durable on arrival" in out
+        assert "look-back durable on arrival" in out
+        assert "look-ahead durable" in out
+
+    def test_stream_custom_weights(self, capsys):
+        code = main(
+            ["stream", "--workload", "ind", "--n", "200", "--weights", "0.9,0.1"]
+        )
+        assert code == 0
+        assert "u=[0.9, 0.1]" in capsys.readouterr().out
+
+    def test_stream_matches_offline_engine(self, capsys):
+        """The streamed look-back count equals the offline durable set."""
+        from repro import LinearPreference, durable_topk
+        from repro.data import independent_uniform
+
+        main(["stream", "--workload", "ind", "--n", "400", "--k", "3", "--tau", "60"])
+        out = capsys.readouterr().out
+        data = independent_uniform(400, 2, seed=0)
+        expected = durable_topk(data, LinearPreference([0.5, 0.5]), k=3, tau=60)
+        assert f"{len(expected.ids)}/400 records look-back durable" in out
+
+
+class TestIngestBench:
+    def test_smoke_verifies_every_response(self, capsys, tmp_path):
+        code = main(["ingest-bench", "--smoke", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "smoke ok" in out
+        saved = tmp_path / "ingest_throughput.txt"
+        assert "incorrect" in saved.read_text() or "identical" in saved.read_text()

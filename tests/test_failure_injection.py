@@ -1,4 +1,5 @@
-"""Failure-injection tests: malformed queries, degenerate data, bad input."""
+"""Failure-injection tests: malformed queries, degenerate data, bad
+input, and crashes of the live MiniDB writer."""
 
 import numpy as np
 import pytest
@@ -6,6 +7,9 @@ import pytest
 from repro.core.engine import DurableTopKEngine, durable_topk
 from repro.core.query import DurableTopKQuery
 from repro.core.record import Dataset
+from repro.core.reference import brute_force_durable_topk
+from repro.minidb import LiveMiniDB
+from repro.minidb.procedures import t_hop_procedure
 from repro.scoring import LinearPreference
 
 
@@ -76,6 +80,132 @@ class TestBadScorers:
     def test_dimension_mismatch_fails_fast(self, tiny):
         with pytest.raises(ValueError):
             durable_topk(tiny, LinearPreference([1.0, 2.0]), k=1, tau=1)
+
+
+class TestWriterCrash:
+    """Kill the LiveMiniDB writer mid-append; reopen must recover a
+    consistent table: every sealed segment intact, every flushed WAL row
+    replayed, the torn in-flight entry dropped."""
+
+    def _populate(self, directory, rows, seal_at):
+        store = LiveMiniDB(directory, d=2, seal_rows=None, buffer_pages=16)
+        for i, row in enumerate(rows):
+            store.append(row)
+            if i + 1 == seal_at:
+                store.seal()
+        store.flush()
+        return store
+
+    def test_kill_mid_append_replays_wal_losslessly(self, tmp_path):
+        rng = np.random.default_rng(17)
+        rows = rng.random((500, 2))
+        store = self._populate(tmp_path / "db", rows, seal_at=300)
+        # The writer dies halfway through the next append's WAL write:
+        # a partial entry reaches the file, the process never returns.
+        store.wal._file.write(b"\x42" * 13)
+        store.wal._file.flush()
+        del store  # no close(): the crash
+
+        recovered = LiveMiniDB(tmp_path / "db")
+        assert recovered.sealed_rows == 300  # no lost sealed segments
+        assert recovered.n == 500  # all flushed tail rows replayed
+        assert recovered.wal.recovered.torn_bytes == 13
+        u = np.array([0.6, 0.4])
+        report = t_hop_procedure(recovered, u, 2, 60)
+        assert report.ids == brute_force_durable_topk(rows @ u, 2, 0, 499, 60)
+        recovered.close()
+
+    def test_unflushed_appends_are_lost_but_store_is_consistent(self, tmp_path):
+        rng = np.random.default_rng(18)
+        rows = rng.random((200, 2))
+        store = self._populate(tmp_path / "db2", rows, seal_at=150)
+        store.append(rng.random(2))  # buffered only, never flushed
+        del store
+
+        recovered = LiveMiniDB(tmp_path / "db2")
+        assert recovered.n == 200  # the unflushed row is gone, rest intact
+        assert recovered.sealed_rows == 150
+        recovered.close()
+
+    def test_crash_between_manifest_and_wal_truncate_does_not_duplicate(self, tmp_path):
+        """A seal that died after committing the manifest but before
+        truncating the WAL must not replay the sealed rows a second time
+        (the manifest records the sealed WAL generation)."""
+        rng = np.random.default_rng(20)
+        rows = rng.random((120, 2))
+        store = self._populate(tmp_path / "db4", rows, seal_at=0)
+        # Replay seal() by hand, stopping right before wal.reset().
+        values = np.asarray(store._tail, dtype=float)
+        from repro.minidb.blockindex import BlockSkylineIndex
+
+        store.table.append_rows(values)
+        store.segments.append(
+            BlockSkylineIndex(
+                values, store.pager, store.buffer,
+                block_rows=store.block_rows, fanout=store.fanout, row_base=0,
+            )
+        )
+        store.pager.sync()
+        store._sealed_generation = store.wal.generation
+        store._write_manifest()
+        del store  # crash before wal.reset() / _tail.clear()
+
+        recovered = LiveMiniDB(tmp_path / "db4")
+        assert recovered.n == 120  # not 240: sealed rows not replayed
+        assert recovered.sealed_rows == 120
+        u = np.array([0.4, 0.6])
+        report = t_hop_procedure(recovered, u, 2, 30)
+        assert report.ids == brute_force_durable_topk(rows @ u, 2, 0, 119, 30)
+        # The recovered store keeps working: append, seal, reopen again.
+        recovered.append(rng.random(2), flush=True)
+        recovered.seal()
+        recovered.close()
+        again = LiveMiniDB(tmp_path / "db4")
+        assert again.n == 121 and again.sealed_rows == 121
+        again.close()
+
+    def test_pooled_session_survives_partial_page_top_up(self, tmp_path):
+        """A session whose page-score vector was cached before a seal
+        topped up that page must re-decode, not read out of bounds."""
+        store = LiveMiniDB(tmp_path / "db5", d=2, seal_rows=None, buffer_pages=16)
+        rng = np.random.default_rng(30)
+        first = rng.random((5, 2))  # far fewer rows than fit on a page
+        for row in first:
+            store.append(row)
+        store.seal()
+        u = np.array([0.5, 0.5])
+        session = store.session(u)
+        assert store.score_of(u, 2, session=session) == pytest.approx(first[2] @ u)
+        later = rng.random((20, 2))  # lands on the same (topped-up) page
+        for row in later:
+            store.append(row)
+        store.seal()
+        every = np.vstack([first, later])
+        for row_id in (2, 7, 19):  # old slot, new slots on the same page
+            assert store.score_of(u, row_id, session=session) == pytest.approx(
+                every[row_id] @ u
+            )
+        store.close()
+
+    def test_crash_between_pages_and_manifest_rolls_back(self, tmp_path):
+        """A seal that died after writing pages but before committing the
+        manifest must roll back to the WAL copy on reopen."""
+        rng = np.random.default_rng(19)
+        rows = rng.random((400, 2))
+        store = self._populate(tmp_path / "db3", rows, seal_at=250)
+        # Simulate the torn seal: pages + index written, manifest not.
+        values = np.asarray(store._tail, dtype=float)
+        store.table.append_rows(values)
+        store.pager.sync()
+        del store  # crash before _write_manifest / wal.reset
+
+        recovered = LiveMiniDB(tmp_path / "db3")
+        assert recovered.sealed_rows == 250  # uncommitted pages discarded
+        assert recovered.n == 400  # rows still recovered via the WAL
+        u = np.array([0.5, 0.5])
+        report = t_hop_procedure(recovered, u, 1, 40)
+        assert report.ids == brute_force_durable_topk(rows @ u, 1, 0, 399, 40)
+        recovered.close()
 
 
 class TestBadDatasets:
