@@ -9,15 +9,19 @@ Usage::
     python -m repro serve-bench --smoke
     python -m repro ingest-bench --out results/
     python -m repro ingest-bench --smoke
+    python -m repro shard-bench --shards 1,2,4
+    python -m repro shard-bench --smoke
     python -m repro stream --workload nba2 --k 3 --tau 500 --lookahead
 
 Each experiment prints the same table/series its benchmark counterpart
 saves, so results can be regenerated without pytest. ``serve-bench``
 drives the concurrent serving layer (naive lock vs session-pooled
 service); ``ingest-bench`` drives the live ingestion pipeline (appends
-racing queries) and reports throughput, latency and freshness; for both,
-``--smoke`` runs small with serial verification and exits non-zero on
-any rejected or incorrect response — the CI gates. ``stream`` replays a
+racing queries) and reports throughput, latency and freshness;
+``shard-bench`` drives the multi-process sharded backend and reports the
+throughput-vs-shards scaling curve. For all three, ``--smoke`` runs
+small with serial verification and exits non-zero on any rejected or
+incorrect response — the CI gates. ``stream`` replays a
 dataset as an arrival stream through the online
 :class:`~repro.core.streaming.StreamingDurableMonitor` and prints each
 record's durability decision the moment it is decidable.
@@ -182,6 +186,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for ingest_throughput.txt (default: results/)",
     )
 
+    shard = sub.add_parser(
+        "shard-bench",
+        help="benchmark multi-process sharded serving (throughput vs shard count)",
+    )
+    shard.add_argument("--n", type=int, default=60_000, help="dataset size")
+    shard.add_argument("--requests", type=int, default=800, help="requests per round")
+    shard.add_argument("--clients", type=int, default=8, help="client threads")
+    shard.add_argument(
+        "--shards",
+        default="1,2,4",
+        help="comma-separated shard counts to sweep (default: 1,2,4)",
+    )
+    shard.add_argument(
+        "--preferences", type=int, default=64, help="distinct preference vectors"
+    )
+    shard.add_argument("--zipf", type=float, default=0.9, help="zipf exponent")
+    shard.add_argument("--rounds", type=int, default=2, help="timed rounds per count")
+    shard.add_argument(
+        "--future", type=float, default=0.0, help="share of look-ahead queries"
+    )
+    shard.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-derive every response on an unsharded engine and compare",
+    )
+    shard.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run with --verify; exit 1 on any rejected/incorrect response",
+    )
+    shard.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for shard_throughput.txt (default: results/)",
+    )
+
     stream = sub.add_parser(
         "stream",
         help="replay a dataset as an arrival stream of durability decisions",
@@ -208,6 +249,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _finish_bench(label, result, elapsed, out, smoke, failures, ok_message) -> int:
+    """Shared tail of the bench subcommands: print, save, smoke-gate.
+
+    ``failures`` are the subcommand-specific smoke checks (already
+    evaluated); any entry fails the smoke run with exit code 1.
+    """
+    print(result.report)
+    print(f"[{label} finished in {elapsed:.1f}s]")
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{result.name}.txt").write_text(result.report + "\n")
+    if smoke:
+        if failures:
+            print("SMOKE FAILURE: " + "; ".join(failures))
+            return 1
+        print(ok_message)
+    return 0
+
+
+def _response_failures(data) -> list[str]:
+    """Smoke checks every serving bench shares: nothing wrong, nothing refused."""
+    failures = []
+    if data["incorrect"]:
+        failures.append(f"{data['incorrect']} incorrect response(s)")
+    if data["rejected"]:
+        failures.append(f"{data['rejected']} rejected response(s)")
+    return failures
+
+
 def _serve_bench(args) -> int:
     from repro.experiments.service_bench import SMOKE_DEFAULTS, service_throughput_bench
 
@@ -227,27 +297,23 @@ def _serve_bench(args) -> int:
     start = time.perf_counter()
     result = service_throughput_bench(**kwargs)
     elapsed = time.perf_counter() - start
-    print(result.report)
-    print(f"[serve-bench finished in {elapsed:.1f}s]")
-    if args.out is not None:
-        args.out.mkdir(parents=True, exist_ok=True)
-        (args.out / f"{result.name}.txt").write_text(result.report + "\n")
+    failures = []
     if args.smoke:
-        failures = []
-        if result.data["incorrect"]:
-            failures.append(f"{result.data['incorrect']} incorrect response(s)")
-        if result.data["rejected"]:
-            failures.append(f"{result.data['rejected']} rejected response(s)")
+        failures = _response_failures(result.data)
         if result.data["verified"] != result.data["requests"]:
             failures.append(
                 f"serial verification {result.data['verified']}/"
                 f"{result.data['requests']}"
             )
-        if failures:
-            print("SMOKE FAILURE: " + "; ".join(failures))
-            return 1
-        print("smoke ok: all responses served and serially verified")
-    return 0
+    return _finish_bench(
+        "serve-bench",
+        result,
+        elapsed,
+        args.out,
+        args.smoke,
+        failures,
+        "smoke ok: all responses served and serially verified",
+    )
 
 
 def _ingest_bench(args) -> int:
@@ -269,26 +335,61 @@ def _ingest_bench(args) -> int:
     start = time.perf_counter()
     result = ingest_throughput_bench(**kwargs)
     elapsed = time.perf_counter() - start
-    print(result.report)
-    print(f"[ingest-bench finished in {elapsed:.1f}s]")
-    if args.out is not None:
-        args.out.mkdir(parents=True, exist_ok=True)
-        (args.out / f"{result.name}.txt").write_text(result.report + "\n")
+    failures = []
     if args.smoke:
-        failures = []
-        if result.data["incorrect"]:
-            failures.append(f"{result.data['incorrect']} incorrect response(s)")
-        if result.data["rejected"]:
-            failures.append(f"{result.data['rejected']} rejected response(s)")
+        failures = _response_failures(result.data)
         if not result.data["seals"]:
             failures.append("the background sealer never sealed a segment")
-        if failures:
-            print("SMOKE FAILURE: " + "; ".join(failures))
-            return 1
-        print(
-            "smoke ok: all responses served while ingesting and serially re-derived"
-        )
-    return 0
+    return _finish_bench(
+        "ingest-bench",
+        result,
+        elapsed,
+        args.out,
+        args.smoke,
+        failures,
+        "smoke ok: all responses served while ingesting and serially re-derived",
+    )
+
+
+def _shard_bench(args) -> int:
+    from repro.experiments.shard_bench import SMOKE_DEFAULTS, shard_throughput_bench
+
+    kwargs = {
+        "n": args.n,
+        "requests": args.requests,
+        "clients": args.clients,
+        "shard_counts": tuple(int(s) for s in args.shards.split(",")),
+        "n_preferences": args.preferences,
+        "zipf_s": args.zipf,
+        "rounds": args.rounds,
+        "future_fraction": args.future,
+        "verify": args.verify or args.smoke,
+    }
+    if args.smoke:
+        kwargs.update(SMOKE_DEFAULTS)
+        kwargs["verify"] = True
+    start = time.perf_counter()
+    result = shard_throughput_bench(**kwargs)
+    elapsed = time.perf_counter() - start
+    failures = []
+    if args.smoke:
+        failures = _response_failures(result.data)
+        if any(result.data["restarts"].values()):
+            failures.append(f"unexpected worker restarts: {result.data['restarts']}")
+        expected = len(kwargs["shard_counts"]) * result.data["requests"]
+        if result.data["verified"] != expected:
+            failures.append(
+                f"serial verification {result.data['verified']}/{expected}"
+            )
+    return _finish_bench(
+        "shard-bench",
+        result,
+        elapsed,
+        args.out,
+        args.smoke,
+        failures,
+        "smoke ok: every sharded answer byte-identical to the unsharded engine",
+    )
 
 
 def _stream(args) -> int:
@@ -364,6 +465,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_bench(args)
     if args.command == "ingest-bench":
         return _ingest_bench(args)
+    if args.command == "shard-bench":
+        return _shard_bench(args)
     if args.command == "stream":
         return _stream(args)
 

@@ -1,0 +1,265 @@
+"""The shard scaling benchmark (and its CLI/CI entry point).
+
+Drives the same Zipfian request stream closed-loop through
+``DurableTopKService(ShardedBackend(...))`` at several shard counts and
+reports the throughput-vs-shards curve. One shard is the baseline: the
+full scatter-gather machinery (pipes, pickled sub-requests, the merge)
+with none of the parallelism, so the curve isolates what extra
+*processes* buy — on an N-core machine the work escapes the GIL and the
+curve should climb until shards exceed cores, while on one core it
+should hold roughly flat (the IPC tax, paid but not repaid).
+
+``verify=True`` re-derives every response of every shard count on one
+unsharded in-process engine and counts mismatches — byte-identical ids
+is the exactness contract of the scatter-gather merge. The CI smoke job
+(``repro shard-bench --smoke``) runs a scaled-down verified round and
+exits non-zero on any rejection, mismatch, or unexpected worker
+restart.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.engine import DurableTopKEngine
+from repro.data import independent_uniform
+from repro.experiments.report import format_table
+from repro.service import (
+    DurableTopKService,
+    MetricsCollector,
+    MetricsSnapshot,
+    ShardedBackend,
+    WorkloadGenerator,
+    WorkloadSpec,
+    run_closed_loop,
+)
+from repro.shard import ShardCoordinator, ShardedDataset, partition_spans
+
+__all__ = ["ShardBenchResult", "shard_throughput_bench", "SMOKE_DEFAULTS"]
+
+#: Scaled-down parameters for the CI smoke run (seconds, not minutes).
+#: Shard count 3 keeps multi-span straddling in play; the FUTURE share
+#: exercises the reversed merge path under concurrency.
+SMOKE_DEFAULTS = {
+    "n": 4_000,
+    "requests": 160,
+    "clients": 4,
+    "shard_counts": (1, 3),
+    "n_preferences": 16,
+    "rounds": 1,
+    "future_fraction": 0.25,
+}
+
+
+@dataclass
+class ShardBenchResult:
+    """Report text plus raw numbers (mirrors ``ServiceBenchResult``)."""
+
+    name: str
+    report: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.report
+
+
+@dataclass
+class _Round:
+    """One timed closed-loop drive at one shard count."""
+
+    snapshot: MetricsSnapshot
+    responses: list
+    wall_seconds: float
+    coordinator_stats: dict
+
+    @property
+    def rps(self) -> float:
+        return len(self.responses) / self.wall_seconds
+
+
+def _run_sharded(dataset, stream, clients, shards, workers, rounds):
+    """Warm up once, then time ``rounds`` drives; return the best round."""
+    sharded = ShardedDataset(dataset, shards)
+    coordinator = ShardCoordinator(sharded, pool_capacity=256)
+    best: _Round | None = None
+    try:
+        with DurableTopKService(
+            ShardedBackend(coordinator),
+            workers=workers,
+            max_queue=max(4096, 4 * len(stream)),
+            max_batch=16,
+            pool_capacity=256,
+        ) as service:
+            coordinator.health_check()
+            run_closed_loop(service.query, stream, clients=clients)  # warmup
+            for _ in range(max(1, rounds)):
+                # A fresh collector per round: percentiles, fanout and
+                # throughput must describe this round only, not the
+                # cumulative history including the warmup drive.
+                service.metrics = MetricsCollector()
+                start = time.perf_counter()
+                responses = run_closed_loop(service.query, stream, clients=clients)
+                wall = time.perf_counter() - start
+                candidate = _Round(
+                    service.metrics.snapshot(),
+                    responses,
+                    wall,
+                    coordinator.stats(),
+                )
+                if best is None or candidate.rps > best.rps:
+                    best = candidate
+    finally:
+        sharded.close()
+    assert best is not None
+    return best
+
+
+def _row(shards, workers, best, baseline_rps):
+    snap = best.snapshot
+    speedup = best.rps / baseline_rps if baseline_rps else 1.0
+    return {
+        "shards": shards,
+        "workers": workers,
+        "req/s": f"{best.rps:.0f}",
+        "speedup": f"{speedup:.2f}x",
+        "p50 ms": f"{snap.latency_p50 * 1e3:.2f}",
+        "p95 ms": f"{snap.latency_p95 * 1e3:.2f}",
+        "p99 ms": f"{snap.latency_p99 * 1e3:.2f}",
+        "fanout": f"{snap.mean_fanout:.2f}",
+        "rejected": snap.rejected_total,
+        "restarts": best.coordinator_stats["restarts"],
+    }
+
+
+def shard_throughput_bench(
+    n: int = 60_000,
+    requests: int = 800,
+    clients: int = 8,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    n_preferences: int = 64,
+    zipf_s: float = 0.9,
+    rounds: int = 2,
+    seed: int = 7,
+    future_fraction: float = 0.0,
+    verify: bool = False,
+) -> ShardBenchResult:
+    """Throughput vs shard count under one workload; see module docstring.
+
+    Service worker threads are sized at ``2 * shards`` (at least 4):
+    they mostly sleep in pipe waits, so over-provisioning them keeps
+    every shard process fed without thread-count becoming the variable
+    under test.
+    """
+    dataset = independent_uniform(n, 2, seed=seed)
+    spec = WorkloadSpec(
+        n_preferences=n_preferences,
+        d=2,
+        zipf_s=zipf_s,
+        k_choices=(5, 10),
+        tau_fractions=(0.05, 0.10),
+        interval_fractions=(0.02, 0.05),
+        algorithms=("t-hop",),
+        future_fraction=future_fraction,
+        seed=seed,
+    )
+    generator = WorkloadGenerator(spec, dataset.n)
+    stream = generator.requests(requests)
+
+    bests: dict[int, _Round] = {}
+    for shards in shard_counts:
+        workers = max(4, 2 * shards)
+        bests[shards] = _run_sharded(dataset, stream, clients, shards, workers, rounds)
+
+    baseline = min(shard_counts)
+    baseline_rps = bests[baseline].rps
+    rows = []
+    for shards in shard_counts:
+        rows.append(_row(shards, max(4, 2 * shards), bests[shards], baseline_rps))
+
+    incorrect = 0
+    rejected = 0
+    verified = None
+    for best in bests.values():
+        rejected += sum(1 for response in best.responses if not response.ok)
+    if verify:
+        verified = 0
+        reference = DurableTopKEngine(dataset)
+        # One serial reference pass; the same stream is replayed at every
+        # shard count, so the expected answers are shared across counts.
+        expected_ids = [
+            reference.query(request.as_query(), request.scorer, request.algorithm).ids
+            for request in stream
+        ]
+        for best in bests.values():
+            for response, expected in zip(best.responses, expected_ids):
+                if not response.ok:
+                    continue  # counted in `rejected`, not a merge mismatch
+                if response.result.ids == expected:
+                    verified += 1
+                else:
+                    incorrect += 1
+
+    cores = os.cpu_count() or 1
+    curve = {shards: round(bests[shards].rps, 1) for shards in shard_counts}
+    peak = max(shard_counts, key=lambda s: bests[s].rps)
+    header = (
+        f"shard scaling: {clients} clients, closed-loop, {requests} requests, "
+        f"best of {max(1, rounds)} round(s), {cores} core(s)\n"
+        f"workload: n={n} d=2, {n_preferences} preferences (zipf s={zipf_s}), "
+        f"t-hop, tau~{spec.tau_fractions}, |I|~{spec.interval_fractions}, "
+        f"future={future_fraction}\n"
+        f"one worker process per shard; speedup is vs the {baseline}-shard "
+        f"baseline (same scatter-gather machinery, no parallelism)"
+    )
+    lines = [
+        header,
+        format_table(rows),
+        f"peak: {curve[peak]:.0f} req/s at {peak} shard(s)   "
+        f"incorrect: {incorrect}   rejected: {rejected}   "
+        f"restarts: {sum(b.coordinator_stats['restarts'] for b in bests.values())}",
+    ]
+    if verified is not None:
+        total = len(shard_counts) * requests
+        lines.append(f"serial verification: {verified}/{total} identical")
+    if cores < 4:
+        lines.append(
+            f"note: only {cores} core(s) visible — the scaling assertion "
+            f"(>= 2x at 4 shards) is meaningful on 4+ cores"
+        )
+    report = "\n".join(lines)
+    restarts = {shards: bests[shards].coordinator_stats["restarts"] for shards in bests}
+    return ShardBenchResult(
+        name="shard_throughput",
+        report=report,
+        data={
+            "curve": curve,
+            "per_shard": {
+                shards: {
+                    **bests[shards].snapshot.as_dict(),
+                    "wall_seconds": round(bests[shards].wall_seconds, 3),
+                    "rps": round(bests[shards].rps, 1),
+                    "coordinator": bests[shards].coordinator_stats,
+                }
+                for shards in shard_counts
+            },
+            "offered_fanout": {
+                shards: generator.fanout_profile(stream, partition_spans(dataset.n, shards))
+                for shards in shard_counts
+            },
+            "baseline_shards": baseline,
+            "speedup": {
+                shards: round(bests[shards].rps / baseline_rps, 3)
+                for shards in shard_counts
+            },
+            "incorrect": incorrect,
+            "rejected": rejected,
+            "restarts": restarts,
+            "verified": verified,
+            "requests": requests,
+            "clients": clients,
+            "cores": cores,
+        },
+    )

@@ -8,7 +8,12 @@ workload generation and SLO metrics. See ``README.md`` ("Serving layer")
 and ``EXPERIMENTS.md`` ("The service throughput benchmark").
 """
 
-from repro.service.backends import EngineBackend, LiveBackend, MiniDBBackend
+from repro.service.backends import (
+    EngineBackend,
+    LiveBackend,
+    MiniDBBackend,
+    ShardedBackend,
+)
 from repro.service.metrics import MetricsCollector, MetricsSnapshot, percentile
 from repro.service.pool import SessionPool
 from repro.service.request import (
@@ -42,6 +47,7 @@ __all__ = [
     "QueryResponse",
     "RejectionReason",
     "SessionPool",
+    "ShardedBackend",
     "WorkloadGenerator",
     "WorkloadSpec",
     "open_loop_arrivals",

@@ -26,6 +26,14 @@ session. Two backends ship:
   proceed *while* appends, seals and compactions land; every response
   records the snapshot it served (``extra["snapshot_n"]``), which is
   what the freshness metrics and the serial re-derivation gate key on.
+* :class:`ShardedBackend` — a
+  :class:`~repro.shard.coordinator.ShardCoordinator` fronting N worker
+  *processes*, one per contiguous time span. Execution leaves this
+  interpreter entirely (the GIL stops being the throughput ceiling);
+  sessions here are thin because the warm per-preference state lives in
+  the shard workers' own pools. Responses carry per-shard fanout detail
+  in ``extra``, which :class:`~repro.service.metrics.MetricsCollector`
+  picks up automatically.
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ from repro.core.session import QuerySession
 from repro.minidb.procedures import t_base_procedure, t_hop_procedure
 from repro.service.request import QueryRequest
 
-__all__ = ["EngineBackend", "LiveBackend", "MiniDBBackend"]
+__all__ = ["EngineBackend", "LiveBackend", "MiniDBBackend", "ShardedBackend"]
 
 
 class EngineBackend:
@@ -93,6 +101,34 @@ class LiveBackend:
     def close(self) -> None:
         """Stop the live dataset's maintenance thread."""
         self.live.close()
+
+
+class ShardedBackend:
+    """Serve requests through a multi-process shard coordinator.
+
+    The pooled session is a stub: per-preference warm state (indexes,
+    score caches) lives inside each shard worker's own session pool and
+    survives independently of this service's pool, so a pool miss here
+    costs one pickle round of the scorer and nothing else. The service's
+    per-preference batching still pays off — batched requests hit the
+    shard workers' warm sessions back to back.
+    """
+
+    name = "sharded"
+
+    def __init__(self, coordinator) -> None:
+        self.coordinator = coordinator
+
+    def make_session(self, scorer) -> QuerySession:
+        scorer.validate_for(self.coordinator.dataset.d)
+        return QuerySession(getattr(scorer, "u", None))
+
+    def execute(self, session, request: QueryRequest) -> DurableTopKResult:
+        return self.coordinator.query(request)
+
+    def close(self) -> None:
+        """Stop the shard workers (and their shared block, if owned)."""
+        self.coordinator.close()
 
 
 class MiniDBBackend:

@@ -24,13 +24,18 @@ def percentile(samples: list[float], q: float) -> float:
     """The ``q``-th percentile (0..100) by linear interpolation.
 
     Matches numpy's default ("linear") method so reported figures agree
-    with offline analysis; returns 0.0 for an empty sample set.
+    with offline analysis — in particular, a p99 over fewer than 100
+    samples interpolates between the two top order statistics instead of
+    degrading to the sample maximum (nearest-rank behaviour), which
+    matters for every short smoke run and warmup window. Returns 0.0 for
+    an empty sample set; ``q`` is clamped into [0, 100].
     """
     if not samples:
         return 0.0
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
+    q = min(max(q, 0.0), 100.0)
     rank = (q / 100.0) * (len(ordered) - 1)
     lo = int(rank)
     hi = min(lo + 1, len(ordered) - 1)
@@ -56,6 +61,11 @@ class MetricsSnapshot:
     wait_p95: float
     service_p95: float
     extra: dict = field(default_factory=dict)
+    #: Requests by scatter width (#shards touched); empty off sharded
+    #: backends.
+    fanout: dict[int, int] = field(default_factory=dict)
+    #: Sub-queries served per shard id; empty off sharded backends.
+    shard_queries: dict[int, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -77,8 +87,16 @@ class MetricsSnapshot:
     def mean_batch_size(self) -> float:
         return self.completed / self.batches if self.batches else 0.0
 
+    @property
+    def mean_fanout(self) -> float:
+        """Average #shards a sharded request scattered to (0.0 unsharded)."""
+        total = sum(self.fanout.values())
+        if not total:
+            return 0.0
+        return sum(width * count for width, count in self.fanout.items()) / total
+
     def as_dict(self) -> dict:
-        return {
+        out = {
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "submitted": self.submitted,
             "completed": self.completed,
@@ -96,6 +114,11 @@ class MetricsSnapshot:
             "wait_p95_ms": round(self.wait_p95 * 1e3, 3),
             "service_p95_ms": round(self.service_p95 * 1e3, 3),
         }
+        if self.fanout:
+            out["fanout"] = dict(self.fanout)
+            out["mean_fanout"] = round(self.mean_fanout, 3)
+            out["shard_queries"] = dict(self.shard_queries)
+        return out
 
     def report(self, title: str = "service metrics") -> str:
         """Human-readable multi-line summary (result-file friendly)."""
@@ -114,6 +137,17 @@ class MetricsSnapshot:
             f"  session pool: hit rate {self.pool_hit_rate:.1%} "
             f"({self.pool_hits} hits / {self.pool_misses} misses)",
         ]
+        if self.fanout:
+            widths = ", ".join(
+                f"{width}->{count}" for width, count in sorted(self.fanout.items())
+            )
+            shares = ", ".join(
+                f"s{shard}={count}" for shard, count in sorted(self.shard_queries.items())
+            )
+            lines.append(
+                f"  shard fanout: mean {self.mean_fanout:.2f} "
+                f"(width->requests: {widths}; sub-queries: {shares})"
+            )
         return "\n".join(lines)
 
 
@@ -142,6 +176,8 @@ class MetricsCollector:
         self._latency: deque[float] = deque(maxlen=sample_window)
         self._wait: deque[float] = deque(maxlen=sample_window)
         self._service: deque[float] = deque(maxlen=sample_window)
+        self.fanout: dict[int, int] = {}
+        self.shard_queries: dict[int, int] = {}
 
     # -- recording hooks (called by DurableTopKService) -----------------
     def record_submit(self) -> None:
@@ -163,11 +199,21 @@ class MetricsCollector:
     def record_response(self, response: QueryResponse) -> None:
         if response.error is not None:
             return  # rejections are counted by record_rejection only
+        shards = None
+        if response.result is not None:
+            shards = response.result.extra.get("shards")
         with self._lock:
             self.completed += 1
             self._latency.append(response.total_seconds)
             self._wait.append(response.wait_seconds)
             self._service.append(response.service_seconds)
+            if shards:
+                # Sharded backends stamp the scatter set on every result;
+                # fold it into the fanout histogram and per-shard shares.
+                width = len(shards)
+                self.fanout[width] = self.fanout.get(width, 0) + 1
+                for shard in shards:
+                    self.shard_queries[shard] = self.shard_queries.get(shard, 0) + 1
 
     def reset_clock(self) -> None:
         """Restart the throughput window (e.g. after warmup)."""
@@ -195,4 +241,6 @@ class MetricsCollector:
                 latency_mean=sum(latency) / len(latency) if latency else 0.0,
                 wait_p95=percentile(wait, 95),
                 service_p95=percentile(service, 95),
+                fanout=dict(self.fanout),
+                shard_queries=dict(self.shard_queries),
             )

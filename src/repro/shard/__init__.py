@@ -1,0 +1,47 @@
+"""Sharded scatter-gather serving: multi-process durable top-k.
+
+The single-process service is GIL-bound: past a handful of workers,
+extra threads only take turns. This package splits the time domain into
+contiguous ownership spans, runs one **unmodified** engine per span in
+its own process (the dataset handed off through one shared-memory
+block, never pickled), and scatters each durable top-k query to the
+spans its interval intersects. Per-span answers concatenate losslessly
+under the canonical order — the same composition property the ingest
+tier's :class:`~repro.ingest.segments.SegmentedTopKIndex` relies on —
+so merged answers are byte-identical to a single-process run while
+throughput finally scales with cores.
+
+Plug into the serving layer via
+:class:`~repro.service.backends.ShardedBackend`; benchmark with
+``repro shard-bench`` (see ``EXPERIMENTS.md``, "Sharded serving").
+"""
+
+from repro.shard.coordinator import (
+    ShardCoordinator,
+    ShardCrashed,
+    ShardRemoteError,
+    ShardWorkerHandle,
+)
+from repro.shard.dataset import (
+    ShardedDataset,
+    SharedDatasetHandle,
+    ShardSpan,
+    merge_shard_answers,
+    partition_spans,
+)
+from repro.shard.worker import pack_stats, shard_worker_main, unpack_stats
+
+__all__ = [
+    "ShardCoordinator",
+    "ShardCrashed",
+    "ShardRemoteError",
+    "ShardSpan",
+    "ShardWorkerHandle",
+    "ShardedDataset",
+    "SharedDatasetHandle",
+    "merge_shard_answers",
+    "pack_stats",
+    "partition_spans",
+    "shard_worker_main",
+    "unpack_stats",
+]

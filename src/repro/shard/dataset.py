@@ -1,0 +1,234 @@
+"""Range partitioning and the pickle-free shared-memory dataset handoff.
+
+The shard tier splits the *time domain*, not the storage: every worker
+process maps the same ``(n, d)`` attribute matrix out of one
+POSIX shared-memory block (zero copies, nothing pickled), and each shard
+*owns* a contiguous span of arrival times. A durable top-k query is
+scattered as one sub-query per span it intersects; each worker answers
+its sub-interval against the **full** history (a record's durability
+window ``[t - tau, t]`` may reach arbitrarily far outside the span that
+owns ``t``, so workers must see every row — ownership bounds the records
+a shard *reports*, never the records it *reads*).
+
+Exactness of the scatter-gather rests on the same composition property
+PR 3's :class:`~repro.ingest.segments.SegmentedTopKIndex` proved for
+stitched indexes: membership in ``DurTop(k, I, tau)`` is decided per
+record by its own window against the full dataset and is independent of
+``I``, so partitioning ``I`` across shards and concatenating the
+per-span answers in span order reproduces — byte for byte, ties
+included — the answer a single-process run would give.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.core.record import Dataset
+
+__all__ = [
+    "ShardSpan",
+    "SharedDatasetHandle",
+    "ShardedDataset",
+    "merge_shard_answers",
+    "partition_spans",
+]
+
+
+class ShardSpan(NamedTuple):
+    """One shard's contiguous ownership range ``[lo, hi]`` (inclusive)."""
+
+    shard: int
+    lo: int
+    hi: int
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def intersect(self, lo: int, hi: int) -> tuple[int, int] | None:
+        """The overlap of this span with ``[lo, hi]``, or ``None``."""
+        a, b = max(self.lo, lo), min(self.hi, hi)
+        return (a, b) if a <= b else None
+
+
+def partition_spans(n: int, n_shards: int) -> list[ShardSpan]:
+    """Split ``[0, n)`` into ``n_shards`` near-equal contiguous spans.
+
+    The first ``n % n_shards`` spans get one extra record; the shard
+    count is capped at ``n`` so every span is non-empty.
+
+    >>> partition_spans(10, 3)
+    [ShardSpan(shard=0, lo=0, hi=3), ShardSpan(shard=1, lo=4, hi=6), ShardSpan(shard=2, lo=7, hi=9)]
+    """
+    if n < 1:
+        raise ValueError(f"need at least one record, got n={n}")
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    n_shards = min(n_shards, n)
+    base, extra = divmod(n, n_shards)
+    spans = []
+    lo = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        spans.append(ShardSpan(shard, lo, lo + size - 1))
+        lo += size
+    return spans
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing block without resource-tracker registration.
+
+    An attaching process never owns the block, but before Python 3.13
+    (``track=False``) every ``SharedMemory(name=...)`` registers with
+    the resource tracker anyway — and since forked workers share the
+    coordinator's tracker, those bogus registrations turn worker exit
+    into spurious "leaked shared_memory" complaints against a block the
+    creator still serves. Suppressing registration for the attach keeps
+    the tracker's view correct: one registration at create, one
+    unregistration at the creator's ``unlink``.
+    """
+    from multiprocessing import resource_tracker
+
+    def _no_register(*args, **kwargs):
+        return None
+
+    original = resource_tracker.register
+    resource_tracker.register = _no_register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class SharedDatasetHandle:
+    """Everything a worker needs to map the dataset: ~a hundred bytes.
+
+    The attribute matrix itself never crosses the process boundary —
+    only this handle does (it is what ``multiprocessing`` pickles into
+    the worker's argument list), which is what makes the handoff
+    pickle-free for the data.
+    """
+
+    shm_name: str
+    shape: tuple[int, int]
+    dtype: str
+    name: str
+    version: int
+
+    def attach(self) -> tuple[Dataset, shared_memory.SharedMemory]:
+        """Map the block and wrap it as a read-only :class:`Dataset`.
+
+        Returns the dataset *and* the mapping, which the caller must
+        keep alive (and ``close()``) for as long as the dataset is used;
+        the array is a zero-copy view into the mapped buffer.
+        """
+        shm = _attach_untracked(self.shm_name)
+        values = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+        dataset = Dataset(values, name=self.name, version=self.version)
+        return dataset, shm
+
+
+def _release(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:
+        pass
+
+
+class ShardedDataset:
+    """A dataset range-partitioned into spans, exported over shared memory.
+
+    Parameters
+    ----------
+    dataset:
+        The static dataset to shard. Its values are copied once into a
+        fresh shared-memory block at construction; workers then map that
+        block directly.
+    n_shards:
+        Number of ownership spans (capped at ``dataset.n``).
+
+    The sharded dataset owns the shared-memory block: :meth:`close`
+    (also run by a GC finalizer as a safety net) unmaps and unlinks it.
+    Workers that are still attached keep their mapping alive — POSIX
+    shared memory is reference-counted by mappings — so closing the
+    coordinator-side handle never yanks data from under a worker.
+    """
+
+    def __init__(self, dataset: Dataset, n_shards: int) -> None:
+        self.dataset = dataset
+        self.spans = partition_spans(dataset.n, n_shards)
+        values = dataset.values
+        self._shm = shared_memory.SharedMemory(create=True, size=values.nbytes)
+        shared = np.ndarray(values.shape, dtype=values.dtype, buffer=self._shm.buf)
+        np.copyto(shared, values)
+        self._finalizer = weakref.finalize(self, _release, self._shm)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.spans)
+
+    @property
+    def n(self) -> int:
+        return self.dataset.n
+
+    @property
+    def d(self) -> int:
+        return self.dataset.d
+
+    def handle(self) -> SharedDatasetHandle:
+        """The picklable attachment token for worker processes."""
+        values = self.dataset.values
+        return SharedDatasetHandle(
+            shm_name=self._shm.name,
+            shape=(values.shape[0], values.shape[1]),
+            dtype=values.dtype.str,
+            name=self.dataset.name,
+            version=self.dataset.version,
+        )
+
+    def spans_for(self, lo: int, hi: int) -> list[ShardSpan]:
+        """The spans intersecting the (resolved) query interval."""
+        return [span for span in self.spans if span.intersect(lo, hi) is not None]
+
+    def close(self) -> None:
+        """Unmap and unlink the shared block (idempotent)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "ShardedDataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedDataset(name={self.dataset.name!r}, n={self.n}, shards={self.n_shards})"
+
+
+def merge_shard_answers(answers: Sequence[Sequence[int]]) -> list[int]:
+    """Concatenate per-span answers (given in span order) into one answer.
+
+    Spans are disjoint and ascending and each per-span answer is
+    ascending, so concatenation *is* the sorted union — the degenerate
+    (and lossless) case of the canonical-order stitch used by
+    :class:`~repro.ingest.segments.SegmentedTopKIndex` for per-part
+    top-k candidates.
+    """
+    merged: list[int] = []
+    for answer in answers:
+        merged.extend(answer)
+    return merged

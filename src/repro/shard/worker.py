@@ -1,0 +1,143 @@
+"""The shard worker: one process, one engine, one ownership span.
+
+A worker is deliberately boring — that is the point of the design. It
+maps the shared dataset, builds an unmodified
+:class:`~repro.core.engine.DurableTopKEngine` over it, keeps warm
+per-preference sessions in its own
+:class:`~repro.service.pool.SessionPool`, and answers sub-queries whose
+interval the coordinator has already clipped to the worker's span. No
+sharding logic runs here: every answer the worker produces is exactly
+what a single-process engine would produce for the same sub-interval,
+which is what makes the coordinator's merge a pure concatenation.
+
+The wire protocol is one request/response pair per message over a
+``multiprocessing`` pipe::
+
+    (seq, op, payload)             coordinator -> worker
+    (seq, "ok", result_payload)    worker -> coordinator
+    (seq, "err", (kind, message, traceback))
+
+Ops: ``"query"`` (the workhorse), ``"ping"`` (health check), ``"stats"``
+(pool/served counters), ``"exit"`` (clean shutdown). Errors are caught
+per message and shipped back as data — a bad request must fail *that
+request*, never the worker.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import fields
+from typing import Any
+
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import Direction, DurableTopKQuery, QueryStats
+from repro.service.pool import SessionPool
+from repro.service.request import preference_key
+from repro.shard.dataset import ShardSpan, SharedDatasetHandle
+
+__all__ = ["pack_stats", "shard_worker_main", "unpack_stats"]
+
+
+def pack_stats(stats: QueryStats) -> dict[str, int]:
+    """A :class:`QueryStats` as a plain field dict (wire-friendly)."""
+    return {f.name: getattr(stats, f.name) for f in fields(QueryStats)}
+
+
+def unpack_stats(data: dict[str, int]) -> QueryStats:
+    """Rebuild a :class:`QueryStats` from :func:`pack_stats` output.
+
+    Unknown keys are ignored so coordinator and worker builds can skew
+    by one release without breaking the wire format.
+    """
+    names = {f.name for f in fields(QueryStats)}
+    return QueryStats(**{key: int(value) for key, value in data.items() if key in names})
+
+
+def _answer_query(engine: DurableTopKEngine, pool: SessionPool, payload: dict) -> dict:
+    """Run one clipped sub-query through a pooled per-preference session."""
+    scorer = payload["scorer"]
+    query = DurableTopKQuery(
+        k=payload["k"],
+        tau=payload["tau"],
+        interval=(payload["lo"], payload["hi"]),
+        direction=Direction(payload["direction"]),
+    )
+    key = preference_key(scorer)
+    session, pool_hit = pool.checkout(key, lambda: engine.session(scorer))
+    try:
+        result = session.query(
+            query,
+            algorithm=payload["algorithm"],
+            with_durations=payload["with_durations"],
+        )
+    finally:
+        pool.checkin(key, session)
+    return {
+        "ids": result.ids,
+        "durations": result.durations,
+        "stats": pack_stats(result.stats),
+        "elapsed": result.elapsed_seconds,
+        "algorithm": result.algorithm,
+        "pool_hit": pool_hit,
+    }
+
+
+def shard_worker_main(
+    conn: Any,
+    handle: SharedDatasetHandle,
+    span: ShardSpan,
+    pool_capacity: int = 64,
+) -> None:
+    """Process entry point: serve ``conn`` until ``"exit"`` or EOF."""
+    dataset, shm = handle.attach()
+    engine = DurableTopKEngine(dataset)
+    pool = SessionPool(pool_capacity)
+    served = 0
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            seq, op, payload = message
+            try:
+                if op == "query":
+                    out = _answer_query(engine, pool, payload)
+                    served += 1
+                elif op == "ping":
+                    out = {
+                        "shard": span.shard,
+                        "pid": os.getpid(),
+                        "span": (span.lo, span.hi),
+                        "n": dataset.n,
+                        "served": served,
+                    }
+                elif op == "stats":
+                    out = {
+                        "shard": span.shard,
+                        "served": served,
+                        "pool": pool.stats(),
+                    }
+                elif op == "exit":
+                    break
+                else:
+                    raise ValueError(f"unknown shard worker op: {op!r}")
+            except Exception as exc:
+                detail = (type(exc).__name__, str(exc), traceback.format_exc())
+                try:
+                    conn.send((seq, "err", detail))
+                except (BrokenPipeError, OSError):
+                    break
+                continue
+            try:
+                conn.send((seq, "ok", out))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        pool.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+        shm.close()

@@ -26,6 +26,7 @@ from repro.service import (
     MetricsCollector,
     MiniDBBackend,
     QueryRequest,
+    QueryResponse,
     RejectionReason,
     SessionPool,
     WorkloadGenerator,
@@ -395,6 +396,50 @@ class TestMetrics:
             )
         assert percentile([], 95) == 0.0
         assert percentile([3.0], 99) == 3.0
+
+    def test_percentile_small_samples_interpolate(self):
+        """p99 of <100 samples must interpolate, not return the max.
+
+        Nearest-rank percentile degrades on small sample sets: any
+        q > 100 * (n-1)/n lands on the maximum, so every short smoke
+        run would report p99 == worst-case latency. Linear interpolation
+        (numpy's default) is the contract."""
+        rng = np.random.default_rng(7)
+        for size in (5, 20, 50, 99):
+            samples = list(rng.random(size) * 100.0)
+            for q in (90, 95, 99):
+                expected = float(np.percentile(samples, q))
+                got = percentile(samples, q)
+                assert got == pytest.approx(expected), (size, q)
+            assert percentile(samples, 99) < max(samples)
+            assert percentile(samples, 0) == min(samples)
+            assert percentile(samples, 100) == max(samples)
+
+    def test_percentile_clamps_out_of_range_q(self):
+        samples = [1.0, 2.0, 3.0]
+        assert percentile(samples, -5) == 1.0
+        assert percentile(samples, 250) == 3.0
+
+    def test_collector_accumulates_shard_fanout_from_extras(self, linear_2d):
+        from repro.core.query import DurableTopKResult
+
+        metrics = MetricsCollector()
+        request = QueryRequest(scorer=linear_2d, k=3, tau=10)
+        for shards in ([0], [0, 1], [1, 2], [0, 1]):
+            result = DurableTopKResult(
+                ids=[],
+                query=request.as_query(),
+                algorithm="t-hop",
+                extra={"shards": shards, "shard_fanout": len(shards)},
+            )
+            metrics.record_response(
+                QueryResponse(request=request, result=result, total_seconds=0.001)
+            )
+        snap = metrics.snapshot()
+        assert snap.fanout == {1: 1, 2: 3}
+        assert snap.shard_queries == {0: 3, 1: 3, 2: 1}
+        assert snap.mean_fanout == pytest.approx(7 / 4)
+        assert snap.as_dict()["mean_fanout"] == pytest.approx(1.75)
 
     def test_snapshot_and_report(self, small_ind, linear_2d):
         metrics = MetricsCollector()

@@ -1,0 +1,366 @@
+"""Tests for the sharded scatter-gather tier (`repro.shard`).
+
+The headline property is merge equivalence: for every shard count, every
+direction, and windows that straddle span boundaries, the coordinator's
+merged answer must be byte-identical — ids, max-durations, and (at one
+shard) the full statistics — to an unsharded single-process engine.
+The rest pins the operational contract: pickle-free shared-memory
+handoff, worker crash recovery, and remote errors failing requests
+rather than workers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine, durable_topk
+from repro.core.query import Direction, QueryStats
+from repro.data import independent_uniform
+from repro.scoring import LinearPreference, random_preference
+from repro.service import (
+    DurableTopKService,
+    QueryRequest,
+    ShardedBackend,
+    WorkloadGenerator,
+    WorkloadSpec,
+    run_closed_loop,
+)
+from repro.shard import (
+    ShardCoordinator,
+    ShardedDataset,
+    ShardRemoteError,
+    merge_shard_answers,
+    pack_stats,
+    partition_spans,
+    unpack_stats,
+)
+
+#: The satellite requirement: equivalence across these shard counts.
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+# ----------------------------------------------------------------------
+# Partitioning and merge plumbing
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_spans_cover_domain_contiguously(self):
+        for n, shards in ((10, 3), (100, 7), (5, 5), (1, 1), (997, 4)):
+            spans = partition_spans(n, shards)
+            assert spans[0].lo == 0
+            assert spans[-1].hi == n - 1
+            for left, right in zip(spans, spans[1:]):
+                assert right.lo == left.hi + 1
+            sizes = [len(span) for span in spans]
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == n
+
+    def test_shard_count_capped_at_n(self):
+        spans = partition_spans(3, 10)
+        assert len(spans) == 3
+        assert [len(span) for span in spans] == [1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_spans(0, 2)
+        with pytest.raises(ValueError):
+            partition_spans(10, 0)
+
+    def test_span_intersect(self):
+        span = partition_spans(100, 4)[1]  # [25, 49]
+        assert span.intersect(0, 99) == (25, 49)
+        assert span.intersect(30, 40) == (30, 40)
+        assert span.intersect(49, 60) == (49, 49)
+        assert span.intersect(50, 60) is None
+
+    def test_merge_concatenates_in_span_order(self):
+        assert merge_shard_answers([[1, 4], [], [7, 9]]) == [1, 4, 7, 9]
+        assert merge_shard_answers([[], []]) == []
+
+
+class TestStatsWire:
+    def test_pack_unpack_round_trip(self):
+        stats = QueryStats(durability_topk_queries=7, hops=3, pages_read=11)
+        assert unpack_stats(pack_stats(stats)).as_dict() == stats.as_dict()
+
+    def test_unpack_ignores_unknown_keys(self):
+        packed = pack_stats(QueryStats(hops=2))
+        packed["from_the_future"] = 99
+        assert unpack_stats(packed).hops == 2
+
+
+# ----------------------------------------------------------------------
+# Shared-memory handoff
+# ----------------------------------------------------------------------
+class TestSharedDataset:
+    def test_attach_is_zero_copy_and_equal(self, small_ind):
+        with ShardedDataset(small_ind, 3) as sharded:
+            handle = sharded.handle()
+            attached, shm = handle.attach()
+            try:
+                assert attached.n == small_ind.n and attached.d == small_ind.d
+                assert attached.version == small_ind.version
+                assert np.array_equal(attached.values, small_ind.values)
+                # The worker-side dataset is a view into the mapped block,
+                # not a copy of it.
+                assert attached.values.base is not None
+            finally:
+                shm.close()
+
+    def test_handle_is_tiny_compared_to_the_data(self, small_ind):
+        with ShardedDataset(small_ind, 2) as sharded:
+            handle_bytes = len(pickle.dumps(sharded.handle()))
+            assert handle_bytes < 512
+            assert small_ind.values.nbytes > 4 * handle_bytes
+
+    def test_close_is_idempotent_and_unlinks(self, small_ind):
+        sharded = ShardedDataset(small_ind, 2)
+        handle = sharded.handle()
+        sharded.close()
+        sharded.close()
+        assert sharded.closed
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_spans_for_clips_to_intersections(self, small_ind):
+        with ShardedDataset(small_ind, 4) as sharded:
+            first = sharded.spans[0]
+            assert sharded.spans_for(0, small_ind.n - 1) == sharded.spans
+            assert sharded.spans_for(first.lo, first.hi) == [first]
+            boundary = sharded.spans_for(first.hi, first.hi + 1)
+            assert boundary == sharded.spans[:2]
+
+
+# ----------------------------------------------------------------------
+# Merge equivalence (the satellite property test)
+# ----------------------------------------------------------------------
+class TestMergeEquivalence:
+    def _random_requests(self, rng, n, d, count):
+        scorers = [LinearPreference(random_preference(rng, d)) for _ in range(4)]
+        algorithms = ("t-hop", "t-base", "s-hop")
+        requests = []
+        for _ in range(count):
+            lo = int(rng.integers(0, n - 1))
+            hi = int(rng.integers(lo, n))
+            hi = min(hi, n - 1)
+            requests.append(
+                QueryRequest(
+                    scorer=scorers[int(rng.integers(len(scorers)))],
+                    k=int(rng.integers(1, 8)),
+                    # tau regularly exceeds a 7-shard span (n/7), so
+                    # durability windows straddle ownership boundaries.
+                    tau=int(rng.integers(1, (2 * n) // 3)),
+                    interval=(lo, hi),
+                    direction=Direction.FUTURE if rng.random() < 0.3 else Direction.PAST,
+                    algorithm=algorithms[int(rng.integers(len(algorithms)))],
+                )
+            )
+        return requests
+
+    def test_randomized_equivalence_across_shard_counts(self):
+        data = independent_uniform(420, 3, seed=8)
+        engine = DurableTopKEngine(data)
+        rng = np.random.default_rng(31)
+        requests = self._random_requests(rng, data.n, data.d, 14)
+        expected = [
+            engine.query(
+                request.as_query(),
+                request.scorer,
+                algorithm=request.algorithm,
+                with_durations=True,
+            )
+            for request in requests
+        ]
+        for shards in SHARD_COUNTS:
+            spans = partition_spans(data.n, shards)
+            with ShardCoordinator(data, n_shards=shards) as coordinator:
+                for request, reference in zip(requests, expected):
+                    merged = coordinator.query(request, with_durations=True)
+                    assert merged.ids == reference.ids, (shards, request)
+                    assert merged.durations == reference.durations, (shards, request)
+                    lo, hi = request.as_query().resolve_interval(data.n)
+                    offered = sum(1 for span in spans if span.intersect(lo, hi) is not None)
+                    assert merged.extra["shard_fanout"] == offered
+                    assert merged.stats.topk_queries == sum(
+                        merged.extra["shard_topk_queries"].values()
+                    )
+                    if shards == 1:
+                        # With one shard the scatter-gather *is* a serial
+                        # run: every counter must match, not just ids.
+                        assert merged.stats.as_dict() == reference.stats.as_dict()
+
+    def test_tie_heavy_answers_stay_identical(self, tie_heavy_dataset):
+        data = tie_heavy_dataset
+        rng = np.random.default_rng(5)
+        requests = self._random_requests(rng, data.n, data.d, 8)
+        with ShardCoordinator(data, n_shards=4) as coordinator:
+            for request in requests:
+                merged = coordinator.query(request)
+                reference = durable_topk(
+                    data,
+                    request.scorer,
+                    request.k,
+                    request.tau,
+                    interval=request.interval,
+                    direction=request.direction,
+                    algorithm=request.algorithm,
+                )
+                assert merged.ids == reference.ids, request
+
+    def test_boundary_straddling_window(self, small_ind):
+        """A two-record interval across a span boundary, tau over the span."""
+        scorer = LinearPreference([0.6, 0.4])
+        with ShardCoordinator(small_ind, n_shards=4) as coordinator:
+            boundary = coordinator.spans[1].hi
+            for direction in (Direction.PAST, Direction.FUTURE):
+                request = QueryRequest(
+                    scorer=scorer,
+                    k=3,
+                    tau=small_ind.n // 2,
+                    interval=(boundary, boundary + 1),
+                    direction=direction,
+                    algorithm="t-hop",
+                )
+                merged = coordinator.query(request)
+                reference = durable_topk(
+                    small_ind,
+                    scorer,
+                    request.k,
+                    request.tau,
+                    interval=request.interval,
+                    direction=direction,
+                    algorithm="t-hop",
+                )
+                assert merged.ids == reference.ids
+                assert merged.extra["shard_fanout"] == 2
+
+
+# ----------------------------------------------------------------------
+# Worker lifecycle: crashes, restarts, remote errors
+# ----------------------------------------------------------------------
+class TestWorkerLifecycle:
+    def _full_domain_request(self):
+        return QueryRequest(scorer=LinearPreference([0.5, 0.5]), k=3, tau=120, algorithm="t-hop")
+
+    def test_restart_on_crash_mid_service(self, small_ind):
+        request = self._full_domain_request()
+        reference = durable_topk(small_ind, request.scorer, request.k, request.tau)
+        with ShardCoordinator(small_ind, n_shards=3) as coordinator:
+            assert coordinator.query(request).ids == reference.ids
+            coordinator._handles[1].process.kill()
+            time.sleep(0.05)
+            merged = coordinator.query(request)
+            assert merged.ids == reference.ids
+            assert coordinator.restarts >= 1
+            assert coordinator.stats()["restarts"] >= 1
+
+    def test_health_check_revives_dead_worker(self, small_ind):
+        with ShardCoordinator(small_ind, n_shards=2) as coordinator:
+            before = {info["shard"]: info["pid"] for info in coordinator.health_check()}
+            coordinator._handles[0].process.kill()
+            time.sleep(0.05)
+            after = {info["shard"]: info["pid"] for info in coordinator.health_check()}
+            assert set(after) == set(before) == {0, 1}
+            assert after[0] != before[0]
+            assert after[1] == before[1]
+            assert coordinator.restarts == 1
+
+    def test_worker_stats_count_served_subqueries(self, small_ind):
+        request = self._full_domain_request()
+        with ShardCoordinator(small_ind, n_shards=2) as coordinator:
+            for _ in range(3):
+                coordinator.query(request)
+            stats = coordinator.worker_stats()
+            assert [entry["served"] for entry in stats] == [3, 3]
+            assert all(entry["pool"]["hits"] >= 2 for entry in stats)
+
+    def test_remote_error_fails_request_not_worker(self, small_ind):
+        bad = QueryRequest(scorer=LinearPreference([1.0]), k=3, tau=50)
+        with ShardCoordinator(small_ind, n_shards=2) as coordinator:
+            with pytest.raises(ShardRemoteError, match="weights but data"):
+                coordinator.query(bad)
+            good = coordinator.query(self._full_domain_request())
+            assert good.ids
+            assert coordinator.restarts == 0
+
+    def test_unpicklable_payload_fails_cleanly(self, small_ind):
+        scorer = LinearPreference([0.5, 0.5])
+
+        def hook(values):
+            return values
+
+        scorer.hook = hook  # nested functions do not pickle
+        request = QueryRequest(scorer=scorer, k=3, tau=50, algorithm="t-hop")
+        with ShardCoordinator(small_ind, n_shards=2) as coordinator:
+            with pytest.raises(Exception, match="pickle"):
+                coordinator.query(request)
+            good = coordinator.query(self._full_domain_request())
+            assert good.ids
+            assert coordinator.restarts == 0
+
+    def test_close_is_idempotent(self, small_ind):
+        coordinator = ShardCoordinator(small_ind, n_shards=2)
+        coordinator.query(self._full_domain_request())
+        coordinator.close()
+        coordinator.close()
+
+
+# ----------------------------------------------------------------------
+# Through the service: the fourth backend
+# ----------------------------------------------------------------------
+class TestShardedBackendService:
+    def test_concurrent_service_matches_serial(self, small_ind):
+        spec = WorkloadSpec(
+            n_preferences=8,
+            d=small_ind.d,
+            k_choices=(3, 5, 10),
+            tau_fractions=(0.05, 0.3),
+            interval_fractions=(0.3, 0.8),
+            algorithms=("t-hop", "t-base", "s-hop"),
+            future_fraction=0.25,
+            seed=23,
+        )
+        stream = WorkloadGenerator(spec, small_ind.n).requests(60)
+        coordinator = ShardCoordinator(small_ind, n_shards=3)
+        with DurableTopKService(ShardedBackend(coordinator), workers=6, pool_capacity=8) as service:
+            responses = run_closed_loop(service.query, stream, clients=6)
+            snapshot = service.metrics.snapshot()
+        for request, response in zip(stream, responses):
+            assert response.ok
+            expected = durable_topk(
+                small_ind,
+                request.scorer,
+                request.k,
+                request.tau,
+                interval=request.interval,
+                direction=request.direction,
+                algorithm=request.algorithm,
+            )
+            assert response.result.ids == expected.ids
+        # The fanout satellites: the collector picked the scatter sets up
+        # from result extras, and the report surfaces them.
+        assert snapshot.fanout
+        assert sum(snapshot.fanout.values()) == len(stream)
+        assert set(snapshot.shard_queries) <= {0, 1, 2}
+        assert snapshot.mean_fanout >= 1.0
+        assert "shard fanout" in snapshot.report()
+
+    def test_backend_rejects_wrong_dimension_on_session_open(self, small_ind):
+        coordinator = ShardCoordinator(small_ind, n_shards=2)
+        with DurableTopKService(ShardedBackend(coordinator), workers=2) as service:
+            future = service.submit(
+                QueryRequest(scorer=LinearPreference([1.0, 2.0, 3.0]), k=3, tau=10)
+            )
+            with pytest.raises(ValueError, match="weights but data"):
+                future.result(timeout=10).unwrap()
+
+    def test_service_close_closes_coordinator_and_owned_memory(self, small_ind):
+        coordinator = ShardCoordinator(small_ind, n_shards=2)
+        service = DurableTopKService(ShardedBackend(coordinator), workers=2)
+        service.close()
+        assert coordinator.sharded.closed
+        with pytest.raises(Exception):
+            coordinator.query(QueryRequest(scorer=LinearPreference([0.5, 0.5]), k=3, tau=10))
