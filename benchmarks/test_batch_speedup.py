@@ -1,0 +1,37 @@
+"""Batched-execution benchmark: one traversal answers a whole batch.
+
+Asserts the tentpole claim of the batching tier: at batch size 16 on
+the Zipfian same-preference workload, per-query CPU time through
+``query_batch`` drops to at most a third of the serial ``query`` loop
+— duplicates collapse onto one execution, near-duplicates share
+memoised durability windows, and opening windows are thresholded in one
+vectorised pass. The full speedup curve goes to
+``results/batch_speedup.txt``.
+
+CPU time (``time.process_time``) rather than wall time keeps the
+assertion meaningful on loaded or single-core CI boxes; byte-identity
+of every batched answer against the serial loop is asserted
+unconditionally — a speedup over wrong answers is no speedup.
+"""
+
+from repro.experiments.batch_bench import batch_speedup_bench
+
+
+def test_batch_speedup(save_report):
+    result = batch_speedup_bench(verify=True)
+    save_report(result.name, result.report)
+
+    # Correctness half: every batch byte-identical to its serial loop,
+    # and the service round fully verified against a reference engine.
+    assert result.data["mismatches"] == 0, result.report
+    assert result.data["incorrect"] == 0, result.report
+    assert result.data["rejected"] == 0, result.report
+    assert result.data["verified"] == result.data["requests"]
+    assert result.data["coalesced"] > 0, result.report
+
+    # Performance half: curve monotone enough to be real, and the
+    # headline — >= 3x per-query CPU drop at batch 16.
+    speedup = result.data["speedup"]
+    assert all(size in speedup for size in (1, 4, 8, 16))
+    assert speedup[16] > speedup[1], result.report
+    assert speedup[16] >= 3.0, result.report

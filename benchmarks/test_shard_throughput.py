@@ -7,12 +7,16 @@ latency percentiles) goes to ``results/shard_throughput.txt``.
 
 The >= 2x-at-4-shards assertion only means something when the machine
 actually has 4 cores to scale onto, so it is gated on ``os.cpu_count()``
-— on smaller boxes the benchmark still runs, records the curve, and
-pins the correctness half of the contract (zero rejected, zero
-incorrect, zero unexpected worker restarts).
+— on smaller boxes the benchmark still runs, records the curve (the
+report stamps the core count), and pins the correctness half of the
+contract (zero rejected, zero incorrect, zero unexpected worker
+restarts) before the test reports an explicit skip rather than a silent
+pass.
 """
 
 import os
+
+import pytest
 
 from repro.experiments.shard_bench import shard_throughput_bench
 
@@ -37,9 +41,15 @@ def test_shard_throughput(save_report):
     # draws, a visible share of requests straddles at least two spans
     # (mean fanout collapses to exactly 1.0 if straddling ever breaks).
     assert result.data["per_shard"][4]["mean_fanout"] > 1.0
-    if cores >= 4:
-        # The headline: 4 worker processes at least double the 1-shard
-        # baseline's completed requests/second.
-        assert result.data["speedup"][4] >= 2.0, result.report
-    else:
-        print(f"[{cores} core(s): scaling assertion skipped]\n{result.report}")
+    if cores < 4:
+        # Everything above (correctness, curve, fanout) has been pinned;
+        # only the scaling headline is meaningless without 4 cores. Skip
+        # loudly so CI shows the assertion was *not* exercised, instead
+        # of a pass that silently proved nothing.
+        pytest.skip(
+            f"shard scaling assertion needs >= 4 cores, machine has {cores}; "
+            "correctness half of the contract verified"
+        )
+    # The headline: 4 worker processes at least double the 1-shard
+    # baseline's completed requests/second.
+    assert result.data["speedup"][4] >= 2.0, result.report

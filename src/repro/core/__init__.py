@@ -1,5 +1,6 @@
 """Core durable top-k machinery: data model, query types and algorithms."""
 
+from repro.core.batch import BatchPlan, clone_result
 from repro.core.blocking import BlockingIntervals
 from repro.core.durability import is_durable, max_durability
 from repro.core.engine import DurableTopKEngine, durable_topk
@@ -21,6 +22,8 @@ __all__ = [
     "QueryStats",
     "DurableTopKEngine",
     "durable_topk",
+    "BatchPlan",
+    "clone_result",
     "BlockingIntervals",
     "is_durable",
     "max_durability",

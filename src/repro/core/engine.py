@@ -5,6 +5,14 @@ index, the reversed view for look-ahead queries) and turns a
 :class:`~repro.core.query.DurableTopKQuery` plus a scoring function into a
 :class:`~repro.core.query.DurableTopKResult`, dispatching to any of the
 five algorithms.
+
+``query_batch`` answers a whole same-preference batch in one shared
+pass: a :class:`~repro.core.batch.BatchPlan` collapses duplicate
+queries onto one execution, a :class:`~repro.index.topk.BatchTopKMemo`
+shares every identical top-k window between the batch's queries (primed
+with one vectorised sweep over the batch's opening windows), and each
+answer — ids, per-query :class:`~repro.core.query.QueryStats`,
+durations — is byte-identical to the serial ``query`` loop.
 """
 
 from __future__ import annotations
@@ -14,11 +22,12 @@ import time
 from collections import OrderedDict
 
 from repro.core.algorithms.base import AlgorithmContext, get_algorithm
+from repro.core.batch import BatchPlan, clone_result
 from repro.core.durability import attach_max_durations
 from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, QueryStats
 from repro.core.record import Dataset
 from repro.core.session import QuerySession
-from repro.index.topk import CountingTopKIndex, build_topk_index
+from repro.index.topk import BatchTopKMemo, CountingTopKIndex, build_topk_index
 
 __all__ = ["DurableTopKEngine", "EngineSession", "durable_topk"]
 
@@ -62,6 +71,25 @@ class EngineSession(QuerySession):
             self.dataset_version = self.engine.dataset.version
         return self.engine.query(
             query, self.scorer, algorithm, with_durations, session=self
+        )
+
+    def query_batch(
+        self,
+        queries,
+        algorithm="s-hop",
+        with_durations: bool = False,
+    ) -> list[DurableTopKResult]:
+        """Answer a batch of queries in one shared pass (see
+        :meth:`DurableTopKEngine.query_batch`); ``algorithm`` may be one
+        name for the whole batch or a per-query sequence."""
+        if self.closed:
+            raise RuntimeError("session is closed")
+        if self.dataset_version != self.engine.dataset.version:
+            self.clear()
+            self.index = self.engine._bound_index(self.scorer)
+            self.dataset_version = self.engine.dataset.version
+        return self.engine.query_batch(
+            queries, self.scorer, algorithm, with_durations, session=self
         )
 
 
@@ -263,16 +291,25 @@ class DurableTopKEngine:
             algorithm = self.plan(query, scorer).algorithm
         if query.direction is Direction.FUTURE:
             return self._query_future(query, scorer, algorithm, with_durations)
+        inner = session.index if session is not None else self._bound_index(scorer)
+        return self._query_past(query, scorer, algorithm, with_durations, inner)
 
-        n = self.dataset.n
-        lo, hi = query.resolve_interval(n)
+    def _query_past(
+        self, query: DurableTopKQuery, scorer, algorithm: str, with_durations: bool, inner
+    ) -> DurableTopKResult:
+        """Run one resolved look-back query over the given top-k block.
+
+        ``inner`` is the preference-bound index — raw, or wrapped in a
+        batch memo by :meth:`query_batch`; either way each query charges
+        its own :class:`QueryStats` through its own counting wrapper.
+        """
+        lo, hi = query.resolve_interval(self.dataset.n)
         stats = QueryStats()
         algo = get_algorithm(algorithm)
         # Offline structure: built outside the timed region, as in the paper.
         skyband = self._skyband_index() if algo.requires_skyband else None
 
         start = time.perf_counter()
-        inner = session.index if session is not None else self._bound_index(scorer)
         index = CountingTopKIndex(inner, stats)
         ctx = AlgorithmContext(
             dataset=self.dataset,
@@ -319,6 +356,116 @@ class DurableTopKEngine:
             elapsed_seconds=inner.elapsed_seconds,
             durations=durations,
         )
+
+    def _resolve_algorithms(self, queries, algorithm, scorer) -> list[str]:
+        """Per-query algorithm names, expanding ``"auto"`` via the planner."""
+        if isinstance(algorithm, str):
+            names = [algorithm] * len(queries)
+        else:
+            names = [str(name) for name in algorithm]
+            if len(names) != len(queries):
+                raise ValueError(
+                    f"got {len(names)} algorithms for {len(queries)} queries"
+                )
+        return [
+            self.plan(query, scorer).algorithm if name == "auto" else name
+            for query, name in zip(queries, names)
+        ]
+
+    def query_batch(
+        self,
+        queries,
+        scorer,
+        algorithm="s-hop",
+        with_durations: bool = False,
+        session: EngineSession | None = None,
+    ) -> list[DurableTopKResult]:
+        """Answer a batch of queries under one scorer in a shared pass.
+
+        Byte-identical to ``[self.query(q, scorer, ...) for q in queries]``
+        — same ids, durations and per-query :class:`QueryStats` — but the
+        work is shared three ways: identical queries execute once (their
+        twins get cloned results), all distinct queries run over one
+        :class:`~repro.index.topk.BatchTopKMemo` so repeated durability
+        windows are answered once, and the batch's opening windows are
+        pre-answered in a single vectorised pass
+        (:func:`~repro.index.topk.batched_window_topk`).
+
+        ``algorithm`` is one name for the whole batch or a sequence with
+        one name per query (``"auto"`` plans per query, as in serial).
+        Look-ahead queries batch among themselves over the reversed
+        engine. Results come back in input order.
+        """
+        scorer.validate_for(self.dataset.d)
+        if session is not None and session.scorer is not scorer:
+            raise ValueError(
+                "session was opened for a different scoring function; "
+                "open one per scorer via DurableTopKEngine.session()"
+            )
+        queries = list(queries)
+        if not queries:
+            return []
+        algorithms = self._resolve_algorithms(queries, algorithm, scorer)
+        results: list[DurableTopKResult | None] = [None] * len(queries)
+        past = [
+            (i, query, algorithms[i])
+            for i, query in enumerate(queries)
+            if query.direction is not Direction.FUTURE
+        ]
+        future = [
+            (i, query, algorithms[i])
+            for i, query in enumerate(queries)
+            if query.direction is Direction.FUTURE
+        ]
+        if past:
+            inner = session.index if session is not None else self._bound_index(scorer)
+            memo = BatchTopKMemo(inner)
+            plan = BatchPlan(past, self.dataset.n)
+            for k, windows in plan.opening_windows().items():
+                memo.prime(k, windows)
+            for entry in plan.unique:
+                results[entry.position] = self._query_past(
+                    entry.query, scorer, entry.algorithm, with_durations, memo
+                )
+            for position, source in plan.duplicates.items():
+                results[position] = clone_result(
+                    results[source], query=queries[position]
+                )
+        if future:
+            self._query_future_batch(future, scorer, with_durations, results)
+        return results  # type: ignore[return-value]
+
+    def _query_future_batch(self, items, scorer, with_durations, results) -> None:
+        """Batch the look-ahead queries over the reversed engine.
+
+        Mirrors :meth:`_query_future`: each query runs as a look-back
+        query on the time-reversed dataset; the whole group shares the
+        reversed engine's batched pass, then ids (and durations) map back
+        through ``t -> n - 1 - t``.
+        """
+        n = self.dataset.n
+        engine = self._reversed()
+        mirrored = [query.reversed(n) for _, query, _ in items]
+        inner_results = engine.query_batch(
+            mirrored,
+            scorer,
+            algorithm=[name for _, _, name in items],
+            with_durations=with_durations,
+        )
+        for (position, query, name), inner in zip(items, inner_results):
+            durations = (
+                {n - 1 - t: d for t, d in inner.durations.items()}
+                if inner.durations
+                else None
+            )
+            results[position] = DurableTopKResult(
+                ids=sorted(n - 1 - t for t in inner.ids),
+                query=query,
+                algorithm=name,
+                stats=inner.stats,
+                elapsed_seconds=inner.elapsed_seconds,
+                durations=durations,
+            )
 
     #: The paper's five algorithms (ablation variants are opt-in).
     PAPER_ALGORITHMS = ("t-base", "t-hop", "s-base", "s-band", "s-hop")

@@ -11,6 +11,8 @@ Usage::
     python -m repro ingest-bench --smoke
     python -m repro shard-bench --shards 1,2,4
     python -m repro shard-bench --smoke
+    python -m repro batch-bench --sizes 1,4,8,16
+    python -m repro batch-bench --smoke
     python -m repro stream --workload nba2 --k 3 --tau 500 --lookahead
 
 Each experiment prints the same table/series its benchmark counterpart
@@ -19,9 +21,11 @@ drives the concurrent serving layer (naive lock vs session-pooled
 service); ``ingest-bench`` drives the live ingestion pipeline (appends
 racing queries) and reports throughput, latency and freshness;
 ``shard-bench`` drives the multi-process sharded backend and reports the
-throughput-vs-shards scaling curve. For all three, ``--smoke`` runs
-small with serial verification and exits non-zero on any rejected or
-incorrect response — the CI gates. ``stream`` replays a
+throughput-vs-shards scaling curve; ``batch-bench`` compares a serial
+``query`` loop against ``query_batch`` on same-preference Zipfian
+batches and reports the per-query CPU speedup curve. For all four,
+``--smoke`` runs small with serial verification and exits non-zero on
+any rejected or incorrect response — the CI gates. ``stream`` replays a
 dataset as an arrival stream through the online
 :class:`~repro.core.streaming.StreamingDurableMonitor` and prints each
 record's durability decision the moment it is decidable.
@@ -223,6 +227,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for shard_throughput.txt (default: results/)",
     )
 
+    batch = sub.add_parser(
+        "batch-bench",
+        help="benchmark batched query execution (serial loop vs query_batch)",
+    )
+    batch.add_argument("--n", type=int, default=30_000, help="dataset size")
+    batch.add_argument(
+        "--sizes",
+        default="1,4,8,16",
+        help="comma-separated batch sizes to sweep (default: 1,4,8,16)",
+    )
+    batch.add_argument(
+        "--batches", type=int, default=8, help="same-preference batches per size"
+    )
+    batch.add_argument(
+        "--preferences", type=int, default=16, help="distinct preference vectors"
+    )
+    batch.add_argument(
+        "--shapes", type=int, default=6, help="query shapes per preference"
+    )
+    batch.add_argument(
+        "--zipf", type=float, default=1.1, help="preference zipf exponent"
+    )
+    batch.add_argument(
+        "--shape-zipf", type=float, default=1.2, help="shape zipf exponent"
+    )
+    batch.add_argument(
+        "--future", type=float, default=0.2, help="share of look-ahead queries"
+    )
+    batch.add_argument(
+        "--requests", type=int, default=400, help="service-round pipelined requests"
+    )
+    batch.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-derive the service round serially on a reference engine",
+    )
+    batch.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run with --verify; exit 1 on any mismatched/rejected response",
+    )
+    batch.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for batch_speedup.txt (default: results/)",
+    )
+
     stream = sub.add_parser(
         "stream",
         help="replay a dataset as an arrival stream of durability decisions",
@@ -392,6 +444,51 @@ def _shard_bench(args) -> int:
     )
 
 
+def _batch_bench(args) -> int:
+    from repro.experiments.batch_bench import SMOKE_DEFAULTS, batch_speedup_bench
+
+    kwargs = {
+        "n": args.n,
+        "batch_sizes": tuple(int(s) for s in args.sizes.split(",")),
+        "batches_per_size": args.batches,
+        "n_preferences": args.preferences,
+        "shapes_per_preference": args.shapes,
+        "zipf_s": args.zipf,
+        "shape_zipf_s": args.shape_zipf,
+        "future_fraction": args.future,
+        "service_requests": args.requests,
+        "verify": args.verify or args.smoke,
+    }
+    if args.smoke:
+        kwargs.update(SMOKE_DEFAULTS)
+        kwargs["verify"] = True
+    start = time.perf_counter()
+    result = batch_speedup_bench(**kwargs)
+    elapsed = time.perf_counter() - start
+    failures = []
+    if args.smoke:
+        failures = _response_failures(result.data)
+        if result.data["mismatches"]:
+            failures.append(
+                f"{result.data['mismatches']} batch(es) diverged from the "
+                "serial loop"
+            )
+        served = result.data["requests"] - result.data["rejected"]
+        if result.data["verified"] != served:
+            failures.append(
+                f"serial verification {result.data['verified']}/{served}"
+            )
+    return _finish_bench(
+        "batch-bench",
+        result,
+        elapsed,
+        args.out,
+        args.smoke,
+        failures,
+        "smoke ok: every batched answer byte-identical to the serial reference",
+    )
+
+
 def _stream(args) -> int:
     from repro.core.streaming import StreamingDurableMonitor
     from repro.scoring import LinearPreference
@@ -467,6 +564,8 @@ def main(argv: list[str] | None = None) -> int:
         return _ingest_bench(args)
     if args.command == "shard-bench":
         return _shard_bench(args)
+    if args.command == "batch-bench":
+        return _batch_bench(args)
     if args.command == "stream":
         return _stream(args)
 

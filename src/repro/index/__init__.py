@@ -31,7 +31,13 @@ from repro.index.segment_tree import MaxSegmentTree
 from repro.index.skyline import kskyband_indices, pareto_dominates, skyline_indices
 from repro.index.skyline_tree import SkylineTree, SkylineTreeTopKIndex
 from repro.index.kskyband import DurableSkybandIndex
-from repro.index.topk import CountingTopKIndex, TopKIndex, build_topk_index
+from repro.index.topk import (
+    BatchTopKMemo,
+    CountingTopKIndex,
+    TopKIndex,
+    batched_window_topk,
+    build_topk_index,
+)
 
 __all__ = [
     "FenwickTree",
@@ -45,6 +51,8 @@ __all__ = [
     "CountingTopKIndex",
     "TopKIndex",
     "build_topk_index",
+    "BatchTopKMemo",
+    "batched_window_topk",
     "skyline_indices",
     "kskyband_indices",
     "pareto_dominates",

@@ -125,3 +125,16 @@ class BlockTopKIndex:
                 v, a = self._range_argmax(i + 1, rhi)
                 heapq.heappush(heap, (-v, -a, i + 1, rhi))
         return out
+
+    def topk_batch(self, k: int, windows) -> list[list[int]]:
+        """Answer many ``topk`` windows in one vectorised sweep.
+
+        Materialises the current scores as an array once (appends since
+        the last call pay a fresh copy) and runs the shared
+        :func:`~repro.index.topk.batched_window_topk` kernel — identical
+        answers to a ``topk`` loop, amortised over the whole batch
+        instead of walking blocks per window.
+        """
+        from repro.index.topk import batched_window_topk
+
+        return batched_window_topk(np.asarray(self._scores, dtype=float), k, windows)

@@ -89,5 +89,17 @@ class ScoreArrayTopKIndex:
                 heapq.heappush(heap, (-v, -a, i + 1, rhi))
         return out
 
+    def topk_batch(self, k: int, windows) -> list[list[int]]:
+        """Answer many ``topk(k, lo, hi)`` windows in one vectorised pass.
+
+        Equivalent to ``[self.topk(k, lo, hi) for lo, hi in windows]``
+        (same clamping, same canonical order), but thresholded with a
+        single ``np.partition`` over the stacked candidate matrix — see
+        :func:`repro.index.topk.batched_window_topk`.
+        """
+        from repro.index.topk import batched_window_topk
+
+        return batched_window_topk(self._scores, k, windows)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ScoreArrayTopKIndex(n={self.n})"

@@ -6,15 +6,36 @@ Section II of the paper deliberately treats the top-k query as a pluggable
 contract down as a :class:`typing.Protocol`, provides a factory over the two
 shipped implementations, and a counting wrapper so experiments can report
 the exact invocation counts shown in the paper's figures.
+
+Two batching primitives live here as well:
+
+* :func:`batched_window_topk` — answer many window top-k queries over one
+  score array in a single vectorised pass (`np.partition` thresholding
+  over the stacked candidate matrix). Index implementations expose it as
+  ``topk_batch(k, windows)``.
+* :class:`BatchTopKMemo` — a batch-scoped wrapper that shares identical
+  ``topk``/``top1`` calls across the queries of one batch. It sits *under*
+  each query's :class:`CountingTopKIndex`, so per-query ``QueryStats`` are
+  charged exactly as in a serial run while the underlying traversal work
+  is paid once per distinct window.
 """
 
 from __future__ import annotations
 
-from typing import Literal, Protocol, runtime_checkable
+from typing import Literal, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from repro.core.query import QueryStats
 
-__all__ = ["TopKIndex", "CountingTopKIndex", "build_topk_index", "TopKKind"]
+__all__ = [
+    "TopKIndex",
+    "CountingTopKIndex",
+    "BatchTopKMemo",
+    "batched_window_topk",
+    "build_topk_index",
+    "TopKKind",
+]
 
 #: Categories of top-k invocations, matching the decomposition in the
 #: paper's figure panels: durability checks versus queries issued to find
@@ -77,6 +98,139 @@ class CountingTopKIndex:
             self.stats.durability_topk_queries += 1
         else:
             self.stats.candidate_topk_queries += 1
+
+
+def batched_window_topk(
+    scores: np.ndarray, k: int, windows: Sequence[tuple[int, int]]
+) -> list[list[int]]:
+    """Top-``k`` ids of many ``[lo, hi]`` windows in one vectorised pass.
+
+    Windows are stacked into one padded ``(rows, max_width)`` candidate
+    matrix (out-of-range cells hold ``-inf``), each row's k-th-largest
+    score is found with a single ``np.partition``, and the per-row answer
+    is every strictly-greater cell plus the *rightmost* threshold ties —
+    which reproduces the canonical total order (descending score, later
+    arrival wins ties) of a heap-driven ``topk`` loop exactly. Windows may
+    exceed the array bounds (they are clamped, like ``topk``); empty
+    windows answer ``[]``.
+
+    The pass is ``O(rows * max_width)`` — a win when the batch's windows
+    are comparable in width (the durability windows of a query batch all
+    have width ``tau + 1``), not a general replacement for per-window
+    heap search.
+    """
+    rows = len(windows)
+    if rows == 0:
+        return []
+    n = len(scores)
+    if k <= 0 or n == 0:
+        return [[] for _ in range(rows)]
+    lo_arr = np.fromiter((lo for lo, _ in windows), dtype=np.int64, count=rows)
+    hi_arr = np.fromiter((hi for _, hi in windows), dtype=np.int64, count=rows)
+    np.clip(lo_arr, 0, None, out=lo_arr)
+    np.clip(hi_arr, None, n - 1, out=hi_arr)
+    widths = hi_arr - lo_arr + 1
+    max_width = int(widths.max()) if len(widths) else 0
+    if max_width <= 0:
+        return [[] for _ in range(rows)]
+
+    cols = np.arange(max_width, dtype=np.int64)
+    idx = lo_arr[:, None] + cols[None, :]
+    valid = cols[None, :] < widths[:, None]
+    matrix = np.asarray(scores, dtype=float)[np.minimum(idx, n - 1)]
+    matrix[~valid] = -np.inf
+
+    kk = min(k, max_width)
+    # Row-wise k-th largest over the padded matrix: with fewer than k
+    # valid cells the threshold degrades to -inf, selecting every valid
+    # cell — the "fewer than k records" contract of ``topk``.
+    thresh = np.partition(matrix, max_width - kk, axis=1)[:, max_width - kk]
+    greater = matrix > thresh[:, None]
+    ties = (matrix == thresh[:, None]) & valid
+    need = kk - greater.sum(axis=1)
+    # Rightmost ``need`` ties per row: count ties at-or-right of each cell.
+    from_right = np.cumsum(ties[:, ::-1], axis=1)[:, ::-1]
+    selected = greater | (ties & (from_right <= need[:, None]))
+
+    out: list[list[int]] = []
+    for r in range(rows):
+        if widths[r] <= 0:
+            out.append([])
+            continue
+        chosen = np.nonzero(selected[r])[0]
+        if len(chosen) == 0:
+            out.append([])
+            continue
+        # Canonical order: descending score, ties toward the larger id
+        # (larger column == larger id within a row).
+        order = np.lexsort((chosen, matrix[r, chosen]))[::-1]
+        base = int(lo_arr[r])
+        out.append([base + int(c) for c in chosen[order]])
+    return out
+
+
+class BatchTopKMemo:
+    """Share identical top-k calls across the queries of one batch.
+
+    Implements the :class:`TopKIndex` protocol by delegation, memoising
+    ``topk`` results by ``(k, lo, hi)`` and ``top1`` by ``(lo, hi)`` for
+    the lifetime of the batch. Placement matters: the memo wraps the raw
+    index and each query's :class:`CountingTopKIndex` wraps the memo, so
+    every query's ``QueryStats`` still counts its own invocations — the
+    byte-identity contract of ``query_batch`` — while the traversal work
+    behind repeated windows is paid once.
+
+    Memoised lists are returned *shared* (not copied): all shipped
+    algorithms treat top-k answers as read-only.
+
+    Not thread-safe; a memo belongs to one batch on one worker.
+    """
+
+    __slots__ = ("_inner", "_topk", "_top1")
+
+    def __init__(self, inner: TopKIndex) -> None:
+        self._inner = inner
+        self._topk: dict[tuple[int, int, int], list[int]] = {}
+        self._top1: dict[tuple[int, int], int | None] = {}
+
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    def score(self, record_id: int) -> float:
+        return self._inner.score(record_id)
+
+    def top1(self, lo: int, hi: int) -> int | None:
+        key = (lo, hi)
+        if key in self._top1:
+            return self._top1[key]
+        found = self._inner.top1(lo, hi)
+        self._top1[key] = found
+        return found
+
+    def topk(self, k: int, lo: int, hi: int) -> list[int]:
+        key = (k, lo, hi)
+        found = self._topk.get(key)
+        if found is None:
+            found = self._inner.topk(k, lo, hi)
+            self._topk[key] = found
+        return found
+
+    def prime(self, k: int, windows: Sequence[tuple[int, int]]) -> None:
+        """Pre-answer ``windows`` for rank ``k`` in one vectorised pass.
+
+        Uses the inner index's ``topk_batch`` when it has one (the
+        score-array, block and segmented blocks all do); silently skips
+        otherwise — priming is an optimisation, never a requirement.
+        """
+        batch = getattr(self._inner, "topk_batch", None)
+        if batch is None:
+            return
+        fresh = [w for w in windows if (k, w[0], w[1]) not in self._topk]
+        if not fresh:
+            return
+        for (lo, hi), ids in zip(fresh, batch(k, fresh)):
+            self._topk[(k, lo, hi)] = ids
 
 
 def build_topk_index(dataset, scorer, method: str = "auto") -> TopKIndex:

@@ -10,7 +10,10 @@
   count — and with it per-query merge fan-in — stays logarithmic-ish in
   the ingested volume;
 * ``query`` answers durable top-k questions over a consistent snapshot,
-  *exactly* equal to rebuilding one index over the frozen prefix.
+  *exactly* equal to rebuilding one index over the frozen prefix;
+* ``query_batch`` answers a same-preference batch over *one* pinned
+  snapshot with shared memoised windows — every answer byte-identical
+  to a serial ``query`` loop against that snapshot.
 
 Concurrency model (epoch/RCU-style): all mutable state lives in one
 immutable ``_LiveState`` (segment tuple + tail buffer + base offset)
@@ -32,11 +35,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.algorithms.base import AlgorithmContext, get_algorithm
+from repro.core.batch import BatchPlan, clone_result
 from repro.core.durability import attach_max_durations
 from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, QueryStats
 from repro.core.record import Dataset
 from repro.index.range_topk import ScoreArrayTopKIndex
-from repro.index.topk import CountingTopKIndex
+from repro.index.topk import BatchTopKMemo, CountingTopKIndex
 from repro.ingest.segments import Segment, SegmentedTopKIndex, TailBuffer
 
 __all__ = ["LiveDataset", "LiveSnapshot"]
@@ -45,6 +49,14 @@ __all__ = ["LiveDataset", "LiveSnapshot"]
 #: therefore run unchanged over the stitched index. The sort-based
 #: S-algorithms need a materialised value matrix — freeze() first.
 INDEX_ONLY_ALGORITHMS = ("t-base", "t-hop")
+
+
+def _validate_live_algorithm(algorithm: str) -> None:
+    if algorithm not in INDEX_ONLY_ALGORITHMS:
+        raise ValueError(
+            f"LiveDataset serves {INDEX_ONLY_ALGORITHMS}, not {algorithm!r}; "
+            "freeze() the dataset for the sort-based algorithms"
+        )
 
 
 @dataclass(frozen=True)
@@ -416,22 +428,34 @@ class LiveDataset:
         record what was served, which the freshness benchmark and the
         serial re-derivation gate rely on.
         """
-        if algorithm not in INDEX_ONLY_ALGORITHMS:
-            raise ValueError(
-                f"LiveDataset serves {INDEX_ONLY_ALGORITHMS}, not {algorithm!r}; "
-                "freeze() the dataset for the sort-based algorithms"
-            )
+        _validate_live_algorithm(algorithm)
         scorer.validate_for(self.d)
         snap = snapshot if snapshot is not None else self.snapshot()
+        if query.direction is Direction.FUTURE:
+            return self._query_future(
+                query, scorer, algorithm, with_durations, snap,
+                snap.stitched_index(scorer, reverse=True),
+            )
+        return self._query_past(
+            query, scorer, algorithm, with_durations, snap,
+            snap.stitched_index(scorer),
+        )
+
+    def _query_past(
+        self, query, scorer, algorithm, with_durations, snap: LiveSnapshot, inner
+    ) -> DurableTopKResult:
+        """One look-back query over a pinned snapshot's stitched block.
+
+        ``inner`` is the stitched index — raw, or wrapped in a batch memo
+        by :meth:`query_batch`; per-query stats are charged through the
+        query's own counting wrapper either way.
+        """
         n = snap.n
         lo, hi = query.resolve_interval(n)
-        if query.direction is Direction.FUTURE:
-            return self._query_future(query, scorer, algorithm, with_durations, snap)
-
         stats = QueryStats()
         algo = get_algorithm(algorithm)
         start = time.perf_counter()
-        index = CountingTopKIndex(snap.stitched_index(scorer), stats)
+        index = CountingTopKIndex(inner, stats)
         ctx = AlgorithmContext(
             dataset=_SnapshotView(snap),  # type: ignore[arg-type]
             index=index,
@@ -463,12 +487,14 @@ class LiveDataset:
         algorithm: str,
         with_durations: bool,
         snap: LiveSnapshot,
+        inner,
     ) -> DurableTopKResult:
         """Look-ahead: run look-back over the time-reversed stitched index.
 
-        The reversed stitched index is built from the same per-part score
-        arrays reversed in place, so its answers equal those of an index
-        over the reversed frozen dataset — the engine's construction.
+        The reversed stitched index (``inner``, possibly memo-wrapped) is
+        built from the same per-part score arrays reversed in place, so
+        its answers equal those of an index over the reversed frozen
+        dataset — the engine's construction.
         """
         n = snap.n
         mirrored = query.reversed(n)
@@ -476,7 +502,7 @@ class LiveDataset:
         stats = QueryStats()
         algo = get_algorithm(algorithm)
         start = time.perf_counter()
-        index = CountingTopKIndex(snap.stitched_index(scorer, reverse=True), stats)
+        index = CountingTopKIndex(inner, stats)
         ctx = AlgorithmContext(
             dataset=_SnapshotView(snap),  # type: ignore[arg-type]
             index=index,
@@ -504,6 +530,87 @@ class LiveDataset:
                 n - 1 - t: dur for t, dur in (mirrored_result.durations or {}).items()
             }
         return result
+
+    def query_batch(
+        self,
+        queries,
+        scorer,
+        algorithm="t-hop",
+        with_durations: bool = False,
+        snapshot: LiveSnapshot | None = None,
+    ) -> list[DurableTopKResult]:
+        """Answer a batch of queries over **one** snapshot in a shared pass.
+
+        Byte-identical to a serial ``query`` loop pinned to the same
+        snapshot — same ids, durations, stats and ``extra`` stamps — with
+        the batched economics of the engine's
+        :meth:`~repro.core.engine.DurableTopKEngine.query_batch`: the
+        stitched index is built once per direction, identical queries
+        execute once (cloned results for their twins), and a shared
+        :class:`~repro.index.topk.BatchTopKMemo` answers repeated
+        durability windows once, primed by the segmented block's batched
+        per-part pass. ``algorithm`` is one name or a per-query sequence.
+        A whole batch sees a single consistent view: tail rows that land
+        mid-batch wait for the next one.
+        """
+        queries = list(queries)
+        if isinstance(algorithm, str):
+            algorithms = [algorithm] * len(queries)
+        else:
+            algorithms = [str(name) for name in algorithm]
+            if len(algorithms) != len(queries):
+                raise ValueError(
+                    f"got {len(algorithms)} algorithms for {len(queries)} queries"
+                )
+        for name in algorithms:
+            _validate_live_algorithm(name)
+        scorer.validate_for(self.d)
+        if not queries:
+            return []
+        snap = snapshot if snapshot is not None else self.snapshot()
+        results: list[DurableTopKResult | None] = [None] * len(queries)
+
+        past = [
+            (i, query, algorithms[i])
+            for i, query in enumerate(queries)
+            if query.direction is not Direction.FUTURE
+        ]
+        if past:
+            memo = BatchTopKMemo(snap.stitched_index(scorer))
+            plan = BatchPlan(past, snap.n)
+            for k, windows in plan.opening_windows().items():
+                memo.prime(k, windows)
+            for entry in plan.unique:
+                results[entry.position] = self._query_past(
+                    entry.query, scorer, entry.algorithm, with_durations, snap, memo
+                )
+            for position, source in plan.duplicates.items():
+                results[position] = clone_result(results[source], query=queries[position])
+
+        future = [
+            (i, query, algorithms[i])
+            for i, query in enumerate(queries)
+            if query.direction is Direction.FUTURE
+        ]
+        if future:
+            # Dedupe on the *mirrored* look-back form (what executes);
+            # trajectories then share the one reversed stitched block.
+            memo = BatchTopKMemo(snap.stitched_index(scorer, reverse=True))
+            plan = BatchPlan(
+                [(i, query.reversed(snap.n), name) for i, query, name in future],
+                snap.n,
+            )
+            for k, windows in plan.opening_windows().items():
+                memo.prime(k, windows)
+            originals = {i: query for i, query, _ in future}
+            for entry in plan.unique:
+                results[entry.position] = self._query_future(
+                    originals[entry.position], scorer, entry.algorithm,
+                    with_durations, snap, memo,
+                )
+            for position, source in plan.duplicates.items():
+                results[position] = clone_result(results[source], query=originals[position])
+        return results  # type: ignore[return-value]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self._state

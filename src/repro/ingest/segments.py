@@ -216,3 +216,36 @@ class SegmentedTopKIndex:
                 candidates.append((part.score(t), base + t))
         candidates.sort(reverse=True)
         return [gid for _, gid in candidates[:k]]
+
+    def topk_batch(self, k: int, windows) -> list[list[int]]:
+        """Answer many ``topk`` windows, batching per-part answers.
+
+        Windows contained in a single part (the common case: durability
+        windows inside one big segment) are grouped by part and answered
+        with that part's vectorised ``topk_batch`` in one pass each;
+        part-straddling windows fall back to the per-window merge. The
+        answers equal a ``topk`` loop exactly.
+        """
+        out: list[list[int] | None] = [None] * len(windows)
+        per_part: dict[int, list[tuple[int, int, int]]] = {}
+        for i, (lo, hi) in enumerate(windows):
+            if k <= 0:
+                out[i] = []
+                continue
+            lo = max(lo, 0)
+            hi = min(hi, self._n - 1)
+            if hi < lo:
+                out[i] = []
+                continue
+            first = self._part_of(lo)
+            if first == self._part_of(hi):
+                base = self._bases[first]
+                per_part.setdefault(first, []).append((i, lo - base, hi - base))
+            else:
+                out[i] = self.topk(k, lo, hi)
+        for p, entries in per_part.items():
+            base = self._bases[p]
+            answers = self._parts[p].topk_batch(k, [(lo, hi) for _, lo, hi in entries])
+            for (i, _, _), local_ids in zip(entries, answers):
+                out[i] = [base + t for t in local_ids]
+        return out  # type: ignore[return-value]

@@ -29,7 +29,12 @@ from repro.minidb.buffer import BufferPool
 from repro.minidb.database import MiniDB
 from repro.minidb.live import LiveMiniDB
 from repro.minidb.pager import PAGE_SIZE, Pager
-from repro.minidb.procedures import t_base_procedure, t_hop_procedure
+from repro.minidb.procedures import (
+    t_base_batch_procedure,
+    t_base_procedure,
+    t_hop_batch_procedure,
+    t_hop_procedure,
+)
 from repro.minidb.session import MiniDBSession
 from repro.minidb.table import HeapTable
 
@@ -44,4 +49,6 @@ __all__ = [
     "MiniDBSession",
     "t_base_procedure",
     "t_hop_procedure",
+    "t_base_batch_procedure",
+    "t_hop_batch_procedure",
 ]

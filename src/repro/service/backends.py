@@ -44,7 +44,12 @@ import numpy as np
 
 from repro.core.query import Direction, DurableTopKResult, QueryStats
 from repro.core.session import QuerySession
-from repro.minidb.procedures import t_base_procedure, t_hop_procedure
+from repro.minidb.procedures import (
+    t_base_batch_procedure,
+    t_base_procedure,
+    t_hop_batch_procedure,
+    t_hop_procedure,
+)
 from repro.service.request import QueryRequest
 
 __all__ = ["EngineBackend", "LiveBackend", "MiniDBBackend", "ShardedBackend"]
@@ -64,6 +69,15 @@ class EngineBackend:
     def execute(self, session, request: QueryRequest) -> DurableTopKResult:
         return session.query(
             request.as_query(), algorithm=request.algorithm
+        )
+
+    def execute_batch(
+        self, session, requests: list[QueryRequest]
+    ) -> list[DurableTopKResult]:
+        """One shared index pass for a same-preference batch of requests."""
+        return session.query_batch(
+            [request.as_query() for request in requests],
+            algorithm=[request.algorithm for request in requests],
         )
 
     def close(self) -> None:
@@ -98,6 +112,20 @@ class LiveBackend:
         result.extra["staleness_rows"] = max(0, self.live.n - result.extra["snapshot_n"])
         return result
 
+    def execute_batch(
+        self, session, requests: list[QueryRequest]
+    ) -> list[DurableTopKResult]:
+        """Answer the whole batch over one epoch snapshot, one shared pass."""
+        results = self.live.query_batch(
+            [request.as_query() for request in requests],
+            requests[0].scorer,
+            algorithm=[request.algorithm for request in requests],
+        )
+        live_n = self.live.n
+        for result in results:
+            result.extra["staleness_rows"] = max(0, live_n - result.extra["snapshot_n"])
+        return results
+
     def close(self) -> None:
         """Stop the live dataset's maintenance thread."""
         self.live.close()
@@ -126,6 +154,12 @@ class ShardedBackend:
     def execute(self, session, request: QueryRequest) -> DurableTopKResult:
         return self.coordinator.query(request)
 
+    def execute_batch(
+        self, session, requests: list[QueryRequest]
+    ) -> list[DurableTopKResult]:
+        """Scatter the batch as one seq-tagged sub-request per shard."""
+        return self.coordinator.query_batch(requests)
+
     def close(self) -> None:
         """Stop the shard workers (and their shared block, if owned)."""
         self.coordinator.close()
@@ -150,6 +184,10 @@ class MiniDBBackend:
     name = "minidb"
 
     PROCEDURES = {"t-hop": t_hop_procedure, "t-base": t_base_procedure}
+    BATCH_PROCEDURES = {
+        "t-hop": t_hop_batch_procedure,
+        "t-base": t_base_batch_procedure,
+    }
 
     def __init__(self, db, cold: bool = True) -> None:
         self.db = db
@@ -166,29 +204,19 @@ class MiniDBBackend:
             )
         return self.db.session(np.asarray(u, dtype=float))
 
-    def execute(self, session, request: QueryRequest) -> DurableTopKResult:
+    def _check(self, request: QueryRequest) -> None:
         if request.direction is not Direction.PAST:
             raise ValueError(
                 "the MiniDB stored procedures answer look-back queries only"
             )
-        procedure = self.PROCEDURES.get(request.algorithm)
-        if procedure is None:
+        if request.algorithm not in self.PROCEDURES:
             raise ValueError(
                 f"MiniDB backend serves {sorted(self.PROCEDURES)}, "
                 f"not {request.algorithm!r}"
             )
-        lo, hi = request.interval if request.interval is not None else (None, None)
-        with self._latch:
-            report = procedure(
-                self.db,
-                session.u,
-                request.k,
-                request.tau,
-                lo,
-                hi,
-                cold=self.cold,
-                session=session,
-            )
+
+    @staticmethod
+    def _result_of(request: QueryRequest, report) -> DurableTopKResult:
         stats = QueryStats(
             durability_topk_queries=report.topk_queries,
             pages_read=report.logical_reads,
@@ -205,6 +233,54 @@ class MiniDBBackend:
                 "topk_queries": report.topk_queries,
             },
         )
+
+    def execute(self, session, request: QueryRequest) -> DurableTopKResult:
+        self._check(request)
+        procedure = self.PROCEDURES[request.algorithm]
+        lo, hi = request.interval if request.interval is not None else (None, None)
+        with self._latch:
+            report = procedure(
+                self.db,
+                session.u,
+                request.k,
+                request.tau,
+                lo,
+                hi,
+                cold=self.cold,
+                session=session,
+            )
+        return self._result_of(request, report)
+
+    def execute_batch(
+        self, session, requests: list[QueryRequest]
+    ) -> list[DurableTopKResult]:
+        """Run the batch through one warm session, grouped per procedure.
+
+        Duplicate queries inside a group execute once (the batch
+        procedures clone their reports under ``cold=True``); per-query
+        page counts stay byte-identical to a serial loop.
+        """
+        for request in requests:
+            self._check(request)
+        groups: dict[str, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.algorithm, []).append(i)
+        results: list[DurableTopKResult | None] = [None] * len(requests)
+        with self._latch:
+            for algorithm, positions in groups.items():
+                queries = []
+                for i in positions:
+                    request = requests[i]
+                    lo, hi = (
+                        request.interval if request.interval is not None else (None, None)
+                    )
+                    queries.append((request.k, request.tau, lo, hi))
+                reports = self.BATCH_PROCEDURES[algorithm](
+                    self.db, session.u, queries, cold=self.cold, session=session
+                )
+                for i, report in zip(positions, reports):
+                    results[i] = self._result_of(requests[i], report)
+        return results
 
     def close(self) -> None:
         """The database is caller-owned; nothing to release here."""

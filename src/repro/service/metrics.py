@@ -66,6 +66,8 @@ class MetricsSnapshot:
     fanout: dict[int, int] = field(default_factory=dict)
     #: Sub-queries served per shard id; empty off sharded backends.
     shard_queries: dict[int, int] = field(default_factory=dict)
+    #: Requests answered by another request's execution (single-flight).
+    coalesced: int = 0
 
     @property
     def throughput(self) -> float:
@@ -113,6 +115,7 @@ class MetricsSnapshot:
             },
             "wait_p95_ms": round(self.wait_p95 * 1e3, 3),
             "service_p95_ms": round(self.service_p95 * 1e3, 3),
+            "coalesced": self.coalesced,
         }
         if self.fanout:
             out["fanout"] = dict(self.fanout)
@@ -133,7 +136,8 @@ class MetricsSnapshot:
             f"mean={self.latency_mean * 1e3:.2f}",
             f"  queue wait p95: {self.wait_p95 * 1e3:.2f} ms   "
             f"service p95: {self.service_p95 * 1e3:.2f} ms",
-            f"  batching: {self.batches} batches, mean size {self.mean_batch_size:.2f}",
+            f"  batching: {self.batches} batches, mean size {self.mean_batch_size:.2f}, "
+            f"{self.coalesced} coalesced",
             f"  session pool: hit rate {self.pool_hit_rate:.1%} "
             f"({self.pool_hits} hits / {self.pool_misses} misses)",
         ]
@@ -178,6 +182,7 @@ class MetricsCollector:
         self._service: deque[float] = deque(maxlen=sample_window)
         self.fanout: dict[int, int] = {}
         self.shard_queries: dict[int, int] = {}
+        self.coalesced = 0
 
     # -- recording hooks (called by DurableTopKService) -----------------
     def record_submit(self) -> None:
@@ -195,6 +200,11 @@ class MetricsCollector:
                 self.pool_hits += 1
             else:
                 self.pool_misses += 1
+
+    def record_coalesced(self, n: int) -> None:
+        """Count requests that rode another identical request's execution."""
+        with self._lock:
+            self.coalesced += n
 
     def record_response(self, response: QueryResponse) -> None:
         if response.error is not None:
@@ -243,4 +253,5 @@ class MetricsCollector:
                 service_p95=percentile(service, 95),
                 fanout=dict(self.fanout),
                 shard_queries=dict(self.shard_queries),
+                coalesced=self.coalesced,
             )

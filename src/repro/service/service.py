@@ -14,7 +14,15 @@ into a multi-client serving layer:
   requests in one go and serves them with a single warm session. At most
   one batch per key is in flight, so same-preference work is serialised
   (sessions are single-threaded by contract) while distinct preferences
-  run in parallel across the worker pool.
+  run in parallel across the worker pool. The whole batch is handed to
+  the backend's ``execute_batch`` in one call, so the index traversal
+  work (skyline decode, block upper-bound sweeps, window top-k) is
+  shared across the batch instead of re-run per request.
+* **Single-flight coalescing** — identical in-flight queries (same
+  ``(k, tau, interval, direction, algorithm)`` under one preference)
+  collapse onto one execution; every waiter gets its own copy of the
+  one answer, and the duplicates are counted as ``coalesced`` in the
+  metrics.
 * **Session pooling** — the per-preference
   :class:`~repro.core.session.QuerySession` survives between batches in
   a bounded LRU :class:`~repro.service.pool.SessionPool`, so a hot
@@ -38,6 +46,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro.core.batch import clone_result
 from repro.service.metrics import MetricsCollector
 from repro.service.pool import SessionPool
 from repro.service.request import (
@@ -262,55 +271,112 @@ class DurableTopKService:
             return
         self.metrics.record_batch(pool_hit)
         try:
-            for item in batch:
-                self._serve_one(item, session, pool_hit, len(batch))
+            self._execute_batch(batch, session, pool_hit)
         finally:
             self.pool.checkin(key, session)
 
-    def _serve_one(
-        self, item: _Pending, session, pool_hit: bool, batch_size: int
+    @staticmethod
+    def _flight_signature(request: QueryRequest) -> tuple:
+        """What makes two same-preference requests the *same* query."""
+        return (
+            request.k,
+            request.tau,
+            request.interval,
+            request.direction,
+            request.algorithm,
+        )
+
+    def _execute_batch(
+        self, batch: list[_Pending], session, pool_hit: bool
     ) -> None:
+        """Serve one same-preference batch through ``backend.execute_batch``.
+
+        Timed-out requests are rejected up front; the survivors are
+        single-flighted (identical queries execute once, every waiter
+        gets a copy of the one answer) and handed to the backend as a
+        whole batch, so one index traversal serves all of them.
+        """
+        batch_size = len(batch)
         now = time.perf_counter()
-        wait = now - item.enqueued
-        timeout = (
-            item.request.timeout
-            if item.request.timeout is not None
-            else self.default_timeout
-        )
-        if timeout is not None and wait > timeout:
-            self.metrics.record_rejection(RejectionReason.TIMEOUT)
-            error = QueryRejected(
-                RejectionReason.TIMEOUT,
-                f"queued {wait * 1e3:.1f} ms > timeout {timeout * 1e3:.1f} ms",
+        live: list[tuple[_Pending, float]] = []
+        for item in batch:
+            wait = now - item.enqueued
+            timeout = (
+                item.request.timeout
+                if item.request.timeout is not None
+                else self.default_timeout
             )
-            item.future.set_result(
-                QueryResponse(
-                    request=item.request,
-                    error=error,
-                    wait_seconds=wait,
-                    total_seconds=wait,
-                    batch_size=batch_size,
-                    pool_hit=pool_hit,
+            if timeout is not None and wait > timeout:
+                self.metrics.record_rejection(RejectionReason.TIMEOUT)
+                error = QueryRejected(
+                    RejectionReason.TIMEOUT,
+                    f"queued {wait * 1e3:.1f} ms > timeout {timeout * 1e3:.1f} ms",
                 )
-            )
+                item.future.set_result(
+                    QueryResponse(
+                        request=item.request,
+                        error=error,
+                        wait_seconds=wait,
+                        total_seconds=wait,
+                        batch_size=batch_size,
+                        pool_hit=pool_hit,
+                    )
+                )
+                continue
+            live.append((item, wait))
+        if not live:
             return
+
+        # Single-flight: identical in-flight queries collapse onto one
+        # execution slot; `source[i]` maps live item i to its leader.
+        flight_of: dict[tuple, int] = {}
+        leaders: list[_Pending] = []
+        source: list[int] = []
+        for item, _ in live:
+            signature = self._flight_signature(item.request)
+            slot = flight_of.get(signature)
+            if slot is None:
+                slot = len(leaders)
+                flight_of[signature] = slot
+                leaders.append(item)
+            source.append(slot)
+        coalesced = len(live) - len(leaders)
+        if coalesced:
+            self.metrics.record_coalesced(coalesced)
+
         try:
-            result = self.backend.execute(session, item.request)
-        except BaseException as exc:  # surface backend bugs on the future
-            item.future.set_exception(exc)
-            return
+            results: list = self.backend.execute_batch(
+                session, [leader.request for leader in leaders]
+            )
+        except BaseException:
+            # The batched path failed as a whole; fall back to per-leader
+            # execution so a single bad request (e.g. a direction the
+            # backend rejects) fails only its own group's futures.
+            results = []
+            for leader in leaders:
+                try:
+                    results.append(self.backend.execute(session, leader.request))
+                except BaseException as exc:
+                    results.append(exc)
+
         done = time.perf_counter()
-        response = QueryResponse(
-            request=item.request,
-            result=result,
-            wait_seconds=wait,
-            service_seconds=done - now,
-            total_seconds=done - item.enqueued,
-            batch_size=batch_size,
-            pool_hit=pool_hit,
-        )
-        self.metrics.record_response(response)
-        item.future.set_result(response)
+        for (item, wait), slot in zip(live, source):
+            outcome = results[slot]
+            if isinstance(outcome, BaseException):
+                item.future.set_exception(outcome)
+                continue
+            result = outcome if item is leaders[slot] else clone_result(outcome)
+            response = QueryResponse(
+                request=item.request,
+                result=result,
+                wait_seconds=wait,
+                service_seconds=done - now,
+                total_seconds=done - item.enqueued,
+                batch_size=batch_size,
+                pool_hit=pool_hit,
+            )
+            self.metrics.record_response(response)
+            item.future.set_result(response)
 
 
 class LockedEngineService:

@@ -64,6 +64,15 @@ class WorkloadSpec:
     the time domain. ``future_fraction`` is the share of look-ahead
     queries (keep 0 for the MiniDB backend, whose procedures are
     look-back only).
+
+    ``shapes_per_preference``, when set, pins each preference to a fixed
+    catalogue of that many pre-drawn query shapes (``k``/``tau``/
+    interval/direction/algorithm) and draws the shape per request
+    Zipfian(``shape_zipf_s``) — the dashboard-tile traffic model, where
+    a preference's hot panels repeat verbatim and near-duplicates
+    overlap heavily. That repetition is what single-flight coalescing
+    and the batched shared-pass execution feed on; leave it ``None`` for
+    fully independent draws.
     """
 
     n_preferences: int = 64
@@ -76,6 +85,8 @@ class WorkloadSpec:
     future_fraction: float = 0.0
     timeout: float | None = None
     seed: int = 0
+    shapes_per_preference: int | None = None
+    shape_zipf_s: float = 1.0
 
 
 class WorkloadGenerator:
@@ -97,11 +108,28 @@ class WorkloadGenerator:
             for _ in range(spec.n_preferences)
         ]
         self.popularity = zipfian_probabilities(spec.n_preferences, spec.zipf_s)
+        if spec.shapes_per_preference is not None:
+            if spec.shapes_per_preference < 1:
+                raise ValueError(
+                    f"shapes_per_preference must be >= 1, got "
+                    f"{spec.shapes_per_preference}"
+                )
+            # Per-preference shape catalogues: each preference repeats
+            # its own small set of query shapes (Zipfian-hot).
+            self.shape_popularity = zipfian_probabilities(
+                spec.shapes_per_preference, spec.shape_zipf_s
+            )
+            self.shapes = [
+                [self._draw_shape() for _ in range(spec.shapes_per_preference)]
+                for _ in range(spec.n_preferences)
+            ]
+        else:
+            self.shape_popularity = None
+            self.shapes = None
 
-    def request(self) -> QueryRequest:
-        """One request drawn from the spec's distributions."""
+    def _draw_shape(self) -> tuple:
+        """One (k, tau, interval, direction, algorithm) draw."""
         spec, rng, n = self.spec, self._rng, self.n
-        scorer = self.scorers[int(rng.choice(len(self.scorers), p=self.popularity))]
         k = int(rng.choice(list(spec.k_choices)))
         tau = max(1, int(float(rng.choice(list(spec.tau_fractions))) * n))
         length = max(1, int(float(rng.choice(list(spec.interval_fractions))) * n))
@@ -113,19 +141,46 @@ class WorkloadGenerator:
             else Direction.PAST
         )
         algorithm = str(rng.choice(list(spec.algorithms)))
+        return k, tau, (lo, hi), direction, algorithm
+
+    def _request_for(self, rank: int) -> QueryRequest:
+        """One request under the preference at popularity ``rank``."""
+        spec, rng = self.spec, self._rng
+        if self.shapes is not None:
+            shape_rank = int(
+                rng.choice(len(self.shape_popularity), p=self.shape_popularity)
+            )
+            k, tau, interval, direction, algorithm = self.shapes[rank][shape_rank]
+        else:
+            k, tau, interval, direction, algorithm = self._draw_shape()
         return QueryRequest(
-            scorer=scorer,
+            scorer=self.scorers[rank],
             k=k,
             tau=tau,
-            interval=(lo, hi),
+            interval=interval,
             direction=direction,
             algorithm=algorithm,
             timeout=spec.timeout,
         )
 
+    def request(self) -> QueryRequest:
+        """One request drawn from the spec's distributions."""
+        rng = self._rng
+        return self._request_for(int(rng.choice(len(self.scorers), p=self.popularity)))
+
     def requests(self, count: int) -> list[QueryRequest]:
         """A deterministic batch of ``count`` requests."""
         return [self.request() for _ in range(count)]
+
+    def preference_batch(self, size: int) -> list[QueryRequest]:
+        """``size`` requests under one Zipfian-drawn preference.
+
+        The shape of a same-preference batch exactly as the service's
+        per-preference batching sees it — what the batched-execution
+        benchmark drives through ``query_batch``.
+        """
+        rank = int(self._rng.choice(len(self.scorers), p=self.popularity))
+        return [self._request_for(rank) for _ in range(size)]
 
     def fanout_profile(self, requests: Sequence[QueryRequest], spans) -> dict[int, int]:
         """Offered scatter width of a request stream over shard spans.

@@ -36,7 +36,7 @@ from typing import Any
 
 from repro.core.query import DurableTopKResult, QueryStats
 from repro.core.record import Dataset
-from repro.service.request import QueryRequest
+from repro.service.request import QueryRequest, preference_key
 from repro.shard.dataset import ShardedDataset, ShardSpan, merge_shard_answers
 from repro.shard.worker import shard_worker_main, unpack_stats
 
@@ -342,7 +342,25 @@ class ShardCoordinator:
             if clipped is not None:
                 targets.append((span.shard, clipped))
         start = time.perf_counter()
-        answers = self._scatter(request, targets, with_durations)
+        answers = self._scatter(
+            "query",
+            [
+                (
+                    shard,
+                    {
+                        "scorer": request.scorer,
+                        "k": request.k,
+                        "tau": request.tau,
+                        "lo": qlo,
+                        "hi": qhi,
+                        "direction": request.direction.value,
+                        "algorithm": request.algorithm,
+                        "with_durations": with_durations,
+                    },
+                )
+                for shard, (qlo, qhi) in targets
+            ],
+        )
         elapsed = time.perf_counter() - start
 
         stats = QueryStats()
@@ -375,43 +393,143 @@ class ShardCoordinator:
             },
         )
 
-    def _scatter(
-        self,
-        request: QueryRequest,
-        targets: list[tuple[int, tuple[int, int]]],
-        with_durations: bool,
-    ) -> list[dict]:
-        """Submit every sub-query, then gather (restarting crashed shards)."""
-        payloads = {}
-        inflight: list[tuple[int, ShardWorkerHandle | None, "Future[Any] | None"]] = []
-        for shard, (qlo, qhi) in targets:
-            payload = {
-                "scorer": request.scorer,
-                "k": request.k,
-                "tau": request.tau,
-                "lo": qlo,
-                "hi": qhi,
-                "direction": request.direction.value,
-                "algorithm": request.algorithm,
-                "with_durations": with_durations,
-            }
-            payloads[shard] = payload
+    def query_batch(
+        self, requests: list[QueryRequest], with_durations: bool = False
+    ) -> list[DurableTopKResult]:
+        """Answer a same-preference batch with one sub-request per shard.
+
+        Instead of one pipe round-trip per ``(request, shard)`` pair, the
+        batch's clipped sub-queries are grouped by intersecting span and
+        shipped as a single seq-tagged ``"query_batch"`` message per
+        shard; each worker answers its group through one warm session's
+        shared batched pass. Gathered answers are regrouped per original
+        request and merged exactly as :meth:`query` merges — results are
+        byte-identical to a serial loop, in input order. All requests
+        must share one preference (the service's batching key).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        key = preference_key(requests[0].scorer)
+        for request in requests[1:]:
+            if preference_key(request.scorer) != key:
+                raise ValueError(
+                    "query_batch serves one preference per batch; got requests "
+                    f"keyed {key} and {preference_key(request.scorer)}"
+                )
+        n = self.sharded.n
+        queries = [request.as_query() for request in requests]
+        per_shard_entries: dict[int, list[dict]] = {}
+        per_shard_positions: dict[int, list[int]] = {}
+        targets_per_query: list[list[int]] = []
+        for i, (request, query) in enumerate(zip(requests, queries)):
+            lo, hi = query.resolve_interval(n)
+            touched: list[int] = []
+            for span in self.spans:
+                clipped = span.intersect(lo, hi)
+                if clipped is None:
+                    continue
+                per_shard_entries.setdefault(span.shard, []).append(
+                    {
+                        "k": request.k,
+                        "tau": request.tau,
+                        "lo": clipped[0],
+                        "hi": clipped[1],
+                        "direction": request.direction.value,
+                        "algorithm": request.algorithm,
+                    }
+                )
+                per_shard_positions.setdefault(span.shard, []).append(i)
+                touched.append(span.shard)
+            targets_per_query.append(touched)
+
+        shards = sorted(per_shard_entries)
+        start = time.perf_counter()
+        shard_answers = self._scatter(
+            "query_batch",
+            [
+                (
+                    shard,
+                    {
+                        "scorer": requests[0].scorer,
+                        "queries": per_shard_entries[shard],
+                        "with_durations": with_durations,
+                    },
+                )
+                for shard in shards
+            ],
+        )
+        elapsed = time.perf_counter() - start
+        answer_of: dict[tuple[int, int], dict] = {}
+        for shard, answers in zip(shards, shard_answers):
+            for position, answer in zip(per_shard_positions[shard], answers):
+                answer_of[(shard, position)] = answer
+
+        with self._stats_lock:
+            self.queries += len(requests)
+            for touched in targets_per_query:
+                width = len(touched)
+                self.fanout[width] = self.fanout.get(width, 0) + 1
+                for shard in touched:
+                    self.subqueries[shard] += 1
+
+        results: list[DurableTopKResult] = []
+        for i, (request, query) in enumerate(zip(requests, queries)):
+            touched = targets_per_query[i]
+            answers = [answer_of[(shard, i)] for shard in touched]
+            stats = QueryStats()
+            durations: dict[int, int] = {}
+            shard_topk: dict[int, int] = {}
+            for shard, answer in zip(touched, answers):
+                shard_stats = unpack_stats(answer["stats"])
+                shard_topk[shard] = shard_stats.topk_queries
+                stats.add(shard_stats)
+                if answer["durations"]:
+                    durations.update(answer["durations"])
+            results.append(
+                DurableTopKResult(
+                    ids=merge_shard_answers([answer["ids"] for answer in answers]),
+                    query=query,
+                    algorithm=request.algorithm,
+                    stats=stats,
+                    elapsed_seconds=elapsed,
+                    durations=durations if with_durations else None,
+                    extra={
+                        "shards": list(touched),
+                        "shard_fanout": len(touched),
+                        "shard_topk_queries": shard_topk,
+                        "shard_elapsed_max": max(answer["elapsed"] for answer in answers),
+                    },
+                )
+            )
+        return results
+
+    def _scatter(self, op: str, items: list[tuple[int, Any]]) -> list[Any]:
+        """Submit one payload per shard, then gather (restarting crashes).
+
+        All pipes are written before any response is awaited, so shards
+        run genuinely in parallel; a crash triggers a restart and one
+        resubmit of exactly the lost payloads. Works for single
+        (``"query"``) and batched (``"query_batch"``) sub-requests alike.
+        """
+        inflight: list[tuple[int, Any, ShardWorkerHandle | None, "Future[Any] | None"]] = []
+        for shard, payload in items:
             handle = self._handles[shard]
             try:
-                inflight.append((shard, handle, handle.submit("query", payload)))
+                inflight.append((shard, payload, handle, handle.submit(op, payload)))
             except ShardCrashed:
-                inflight.append((shard, None, None))  # restart at gather time
+                inflight.append((shard, payload, None, None))  # restart at gather time
         answers = []
-        for shard, handle, future in inflight:
+        for shard, payload, handle, future in inflight:
             if future is None:
-                answers.append(self._call(shard, "query", payloads[shard]))
+                answers.append(self._call(shard, op, payload))
                 continue
             try:
                 answers.append(future.result(timeout=self.request_timeout))
             except ShardCrashed:
                 retry = self._restart(shard, handle)
                 answers.append(
-                    retry.submit("query", payloads[shard]).result(timeout=self.request_timeout)
+                    retry.submit(op, payload).result(timeout=self.request_timeout)
                 )
             except FutureTimeoutError as exc:
                 raise TimeoutError(

@@ -17,8 +17,10 @@ The wire protocol is one request/response pair per message over a
     (seq, "ok", result_payload)    worker -> coordinator
     (seq, "err", (kind, message, traceback))
 
-Ops: ``"query"`` (the workhorse), ``"ping"`` (health check), ``"stats"``
-(pool/served counters), ``"exit"`` (clean shutdown). Errors are caught
+Ops: ``"query"`` (the workhorse), ``"query_batch"`` (a whole batch of
+clipped sub-queries for one preference in one message, answered through
+the session's shared-pass ``query_batch``), ``"ping"`` (health check),
+``"stats"`` (pool/served counters), ``"exit"`` (clean shutdown). Errors are caught
 per message and shipped back as data — a bad request must fail *that
 request*, never the worker.
 """
@@ -83,6 +85,50 @@ def _answer_query(engine: DurableTopKEngine, pool: SessionPool, payload: dict) -
     }
 
 
+def _answer_query_batch(engine: DurableTopKEngine, pool: SessionPool, payload: dict) -> list[dict]:
+    """Run one batched sub-request: many clipped windows, one preference.
+
+    The coordinator ships all of a batch's sub-queries for this span in a
+    single message; the pooled session's
+    :meth:`~repro.core.engine.EngineSession.query_batch` answers them in
+    one shared pass (memoised windows, deduplicated twins), byte-identical
+    to a loop of ``"query"`` ops. Answers come back aligned with
+    ``payload["queries"]``.
+    """
+    scorer = payload["scorer"]
+    entries = payload["queries"]
+    queries = [
+        DurableTopKQuery(
+            k=entry["k"],
+            tau=entry["tau"],
+            interval=(entry["lo"], entry["hi"]),
+            direction=Direction(entry["direction"]),
+        )
+        for entry in entries
+    ]
+    key = preference_key(scorer)
+    session, pool_hit = pool.checkout(key, lambda: engine.session(scorer))
+    try:
+        results = session.query_batch(
+            queries,
+            algorithm=[entry["algorithm"] for entry in entries],
+            with_durations=payload["with_durations"],
+        )
+    finally:
+        pool.checkin(key, session)
+    return [
+        {
+            "ids": result.ids,
+            "durations": result.durations,
+            "stats": pack_stats(result.stats),
+            "elapsed": result.elapsed_seconds,
+            "algorithm": result.algorithm,
+            "pool_hit": pool_hit,
+        }
+        for result in results
+    ]
+
+
 def shard_worker_main(
     conn: Any,
     handle: SharedDatasetHandle,
@@ -105,6 +151,9 @@ def shard_worker_main(
                 if op == "query":
                     out = _answer_query(engine, pool, payload)
                     served += 1
+                elif op == "query_batch":
+                    out = _answer_query_batch(engine, pool, payload)
+                    served += len(payload["queries"])
                 elif op == "ping":
                     out = {
                         "shard": span.shard,

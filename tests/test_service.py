@@ -183,13 +183,13 @@ class TestAdmissionControl:
         service = DurableTopKService(backend, workers=1, max_queue=2)
         # Stall the single worker with a slow batch so the queue backs up.
         gate = threading.Event()
-        original_execute = backend.execute
+        original_execute_batch = backend.execute_batch
 
-        def slow_execute(session, request):
+        def slow_execute_batch(session, requests):
             gate.wait(timeout=10)
-            return original_execute(session, request)
+            return original_execute_batch(session, requests)
 
-        backend.execute = slow_execute
+        backend.execute_batch = slow_execute_batch
         try:
             futures = [self._request(linear_2d) for _ in range(8)]
             futures = [service.submit(r) for r in futures]
@@ -212,15 +212,16 @@ class TestAdmissionControl:
         backend = EngineBackend(DurableTopKEngine(small_ind))
         service = DurableTopKService(backend, workers=1)
         gate = threading.Event()
-        original_execute = backend.execute
+        original_execute_batch = backend.execute_batch
 
-        def slow_execute(session, request):
+        def slow_execute_batch(session, requests):
             gate.wait(timeout=10)
-            return original_execute(session, request)
+            return original_execute_batch(session, requests)
 
-        backend.execute = slow_execute
+        backend.execute_batch = slow_execute_batch
         try:
             blocker = service.submit(self._request(linear_2d))
+            time.sleep(0.05)  # the worker takes the blocker's batch and stalls
             expired = service.submit(
                 self._request(linear_2d, timeout=0.01)
             )
@@ -232,6 +233,45 @@ class TestAdmissionControl:
             service.close()
         assert not response.ok
         assert response.error.reason is RejectionReason.TIMEOUT
+
+    def test_single_flight_coalesces_identical_queries(self, small_ind, linear_2d):
+        """Identical in-flight queries execute once; every waiter answers.
+
+        A blocker stalls the lone worker so six byte-identical requests
+        pile into one batch behind it; single-flight must hand all six
+        the one answer (as independent result objects) while the backend
+        sees exactly one query per execute_batch call."""
+        backend = EngineBackend(DurableTopKEngine(small_ind))
+        service = DurableTopKService(backend, workers=1, max_batch=16)
+        gate = threading.Event()
+        executed: list[int] = []
+        original_execute_batch = backend.execute_batch
+
+        def gated_execute_batch(session, requests):
+            gate.wait(timeout=10)
+            executed.append(len(requests))
+            return original_execute_batch(session, requests)
+
+        backend.execute_batch = gated_execute_batch
+        try:
+            blocker = service.submit(self._request(linear_2d))
+            time.sleep(0.05)  # let the worker take the blocker's batch
+            twins = [service.submit(self._request(linear_2d)) for _ in range(6)]
+            gate.set()
+            responses = [f.result(timeout=10) for f in twins]
+            assert blocker.result(timeout=10).ok
+        finally:
+            service.close()
+        assert all(r.ok for r in responses)
+        first = responses[0].result
+        for response in responses[1:]:
+            assert response.result.ids == first.ids
+            assert response.result.stats.as_dict() == first.stats.as_dict()
+            assert response.result is not first  # an independent copy
+        # Every backend call saw exactly one unique query...
+        assert executed and all(count == 1 for count in executed)
+        # ...and at least the five trailing twins rode the leader's answer.
+        assert service.metrics.snapshot().coalesced >= 5
 
     def test_unbuildable_session_fails_futures_not_workers(self, small_ind, linear_2d):
         """A scorer the backend cannot open a session for (wrong d) must
