@@ -28,6 +28,7 @@ from repro.core.query import Direction, DurableTopKQuery, DurableTopKResult, Que
 from repro.core.record import Dataset
 from repro.core.session import QuerySession
 from repro.index.topk import BatchTopKMemo, CountingTopKIndex, build_topk_index
+from repro.obs import add_span, trace_span, tracing_active
 
 __all__ = ["DurableTopKEngine", "EngineSession", "durable_topk"]
 
@@ -309,21 +310,40 @@ class DurableTopKEngine:
         # Offline structure: built outside the timed region, as in the paper.
         skyband = self._skyband_index() if algo.requires_skyband else None
 
-        start = time.perf_counter()
-        index = CountingTopKIndex(inner, stats)
-        ctx = AlgorithmContext(
-            dataset=self.dataset,
-            index=index,
-            scorer=scorer,
-            k=query.k,
-            tau=query.tau,
-            lo=lo,
-            hi=hi,
-            stats=stats,
-            skyband=skyband,
-        )
-        ids = algo.run(ctx)
-        elapsed = time.perf_counter() - start
+        with trace_span(
+            "engine.query", algorithm=algorithm, k=query.k, tau=query.tau, lo=lo, hi=hi
+        ) as span:
+            start = time.perf_counter()
+            index = CountingTopKIndex(inner, stats, timed=tracing_active())
+            ctx = AlgorithmContext(
+                dataset=self.dataset,
+                index=index,
+                scorer=scorer,
+                k=query.k,
+                tau=query.tau,
+                lo=lo,
+                hi=hi,
+                stats=stats,
+                skyband=skyband,
+            )
+            ids = algo.run(ctx)
+            elapsed = time.perf_counter() - start
+            span.set(
+                answers=len(ids),
+                durability_topk=stats.durability_topk_queries,
+                candidate_topk=stats.candidate_topk_queries,
+                candidate_set=stats.candidate_set_size,
+            )
+            if index.timed and index.calls:
+                # One aggregated span per query (busy time across all
+                # probes), not one span per probe.
+                add_span(
+                    "index.topk",
+                    start=index.first_start,
+                    duration=index.elapsed,
+                    calls=index.calls,
+                    candidates_scanned=index.scanned,
+                )
 
         result = DurableTopKResult(
             ids=ids,

@@ -13,6 +13,9 @@ Usage::
     python -m repro shard-bench --smoke
     python -m repro batch-bench --sizes 1,4,8,16
     python -m repro batch-bench --smoke
+    python -m repro obs-bench --out results/
+    python -m repro obs-bench --smoke
+    python -m repro trace --backend sharded --shards 2 --top 3
     python -m repro stream --workload nba2 --k 3 --tau 500 --lookahead
 
 Each experiment prints the same table/series its benchmark counterpart
@@ -23,9 +26,14 @@ racing queries) and reports throughput, latency and freshness;
 ``shard-bench`` drives the multi-process sharded backend and reports the
 throughput-vs-shards scaling curve; ``batch-bench`` compares a serial
 ``query`` loop against ``query_batch`` on same-preference Zipfian
-batches and reports the per-query CPU speedup curve. For all four,
-``--smoke`` runs small with serial verification and exits non-zero on
-any rejected or incorrect response — the CI gates. ``stream`` replays a
+batches and reports the per-query CPU speedup curve; ``obs-bench``
+measures the tracing overhead in both modes and checks traced answers
+stay byte-identical. For all five, ``--smoke`` runs small with serial
+verification and exits non-zero on any rejected or incorrect response —
+the CI gates. ``trace`` drives a traced workload and prints the slowest
+requests as per-layer waterfalls (``--backend sharded`` stitches
+coordinator and worker-process spans into one tree); ``--log-json``
+(global) switches diagnostics to structured JSON log lines. ``stream`` replays a
 dataset as an arrival stream through the online
 :class:`~repro.core.streaming.StreamingDurableMonitor` and prints each
 record's durability decision the moment it is decidable.
@@ -118,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the durable top-k paper's figures and tables.",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines (one object per line) on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
@@ -274,6 +287,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("results"),
         help="directory for batch_speedup.txt (default: results/)",
     )
+
+    obs = sub.add_parser(
+        "obs-bench",
+        help="measure tracing overhead (disabled fast path and enabled mode)",
+    )
+    obs.add_argument("--n", type=int, default=60_000, help="dataset size")
+    obs.add_argument("--requests", type=int, default=1000, help="requests per round")
+    obs.add_argument("--clients", type=int, default=8, help="client threads")
+    obs.add_argument("--workers", type=int, default=8, help="service worker threads")
+    obs.add_argument(
+        "--preferences", type=int, default=64, help="distinct preference vectors"
+    )
+    obs.add_argument("--zipf", type=float, default=0.9, help="zipf exponent")
+    obs.add_argument("--rounds", type=int, default=2, help="interleaved rounds per side")
+    obs.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run; exit 1 if the disabled-path bound or byte-identity fails",
+    )
+    obs.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for obs_overhead.txt (default: results/)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="drive a traced workload and print the slowest traces as waterfalls",
+    )
+    trace.add_argument("--n", type=int, default=12_000, help="dataset size")
+    trace.add_argument("--requests", type=int, default=120, help="requests to serve")
+    trace.add_argument("--clients", type=int, default=4, help="client threads")
+    trace.add_argument("--workers", type=int, default=4, help="service worker threads")
+    trace.add_argument(
+        "--preferences", type=int, default=12, help="distinct preference vectors"
+    )
+    trace.add_argument(
+        "--backend",
+        default="engine",
+        choices=["engine", "sharded"],
+        help="sharded stitches coordinator + worker-process spans into one tree",
+    )
+    trace.add_argument(
+        "--shards", type=int, default=2, help="shard count for --backend sharded"
+    )
+    trace.add_argument("--top", type=int, default=3, help="slowest traces to print")
 
     stream = sub.add_parser(
         "stream",
@@ -489,6 +549,77 @@ def _batch_bench(args) -> int:
     )
 
 
+def _obs_bench(args) -> int:
+    from repro.experiments.obs_bench import (
+        DISABLED_OVERHEAD_BOUND,
+        SMOKE_DEFAULTS,
+        obs_overhead_bench,
+    )
+
+    kwargs = {
+        "n": args.n,
+        "requests": args.requests,
+        "clients": args.clients,
+        "workers": args.workers,
+        "n_preferences": args.preferences,
+        "zipf_s": args.zipf,
+        "rounds": args.rounds,
+    }
+    if args.smoke:
+        kwargs.update(SMOKE_DEFAULTS)
+    start = time.perf_counter()
+    result = obs_overhead_bench(**kwargs)
+    elapsed = time.perf_counter() - start
+    failures = []
+    if args.smoke:
+        failures = _response_failures(result.data)
+        if result.data["disabled_overhead"] > DISABLED_OVERHEAD_BOUND:
+            failures.append(
+                f"disabled-path overhead bound {result.data['disabled_overhead']:.3%} "
+                f"exceeds {DISABLED_OVERHEAD_BOUND:.0%}"
+            )
+        if result.data["identical"] != result.data["requests"]:
+            failures.append(
+                f"byte-identity {result.data['identical']}/{result.data['requests']}"
+            )
+    return _finish_bench(
+        "obs-bench",
+        result,
+        elapsed,
+        args.out,
+        args.smoke,
+        failures,
+        "smoke ok: disabled path within bound, traced answers byte-identical",
+    )
+
+
+def _trace(args) -> int:
+    from repro.experiments.obs_bench import capture_traces
+    from repro.obs import format_waterfall
+
+    traces = capture_traces(
+        n=args.n,
+        requests=args.requests,
+        clients=args.clients,
+        workers=args.workers,
+        n_preferences=args.preferences,
+        backend=args.backend,
+        shards=args.shards,
+        top=args.top,
+    )
+    if not traces:
+        print("no traces captured")
+        return 1
+    print(
+        f"slowest {len(traces)} of {args.requests} requests "
+        f"({args.backend} backend):\n"
+    )
+    for trace in traces:
+        print(format_waterfall(trace))
+        print()
+    return 0
+
+
 def _stream(args) -> int:
     from repro.core.streaming import StreamingDurableMonitor
     from repro.scoring import LinearPreference
@@ -554,6 +685,10 @@ def _stream(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_json:
+        from repro.obs import configure_json_logging
+
+        configure_json_logging()
     if args.command == "list":
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name:8s} {description}")
@@ -566,6 +701,10 @@ def main(argv: list[str] | None = None) -> int:
         return _shard_bench(args)
     if args.command == "batch-bench":
         return _batch_bench(args)
+    if args.command == "obs-bench":
+        return _obs_bench(args)
+    if args.command == "trace":
+        return _trace(args)
     if args.command == "stream":
         return _stream(args)
 

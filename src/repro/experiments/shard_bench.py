@@ -29,7 +29,6 @@ from repro.data import independent_uniform
 from repro.experiments.report import format_table
 from repro.service import (
     DurableTopKService,
-    MetricsCollector,
     MetricsSnapshot,
     ShardedBackend,
     WorkloadGenerator,
@@ -96,10 +95,12 @@ def _run_sharded(dataset, stream, clients, shards, workers, rounds):
             coordinator.health_check()
             run_closed_loop(service.query, stream, clients=clients)  # warmup
             for _ in range(max(1, rounds)):
-                # A fresh collector per round: percentiles, fanout and
+                # Full reset per round: percentiles, fanout and
                 # throughput must describe this round only, not the
                 # cumulative history including the warmup drive.
-                service.metrics = MetricsCollector()
+                # (reset(), unlike swapping in a fresh collector, keeps
+                # the backend's metrics_source registered.)
+                service.metrics.reset()
                 start = time.perf_counter()
                 responses = run_closed_loop(service.query, stream, clients=clients)
                 wall = time.perf_counter() - start

@@ -22,6 +22,7 @@ Two batching primitives live here as well:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Literal, Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -72,11 +73,22 @@ class CountingTopKIndex:
     Line 8 of Algorithm 3) from *candidate queries* (partition seeding and
     interval splits in S-Hop), mirroring the shaded/unshaded bar split of
     Figures 8–10.
+
+    With ``timed=True`` (the engine passes ``obs.tracing_active()``) each
+    invocation is also wall-clocked, accumulating ``elapsed``/``calls``/
+    ``scanned`` so the engine can attach one aggregated ``index.topk``
+    span per query instead of one span per probe. Timing never alters the
+    counts charged to ``QueryStats`` — the byte-identity contract.
     """
 
-    def __init__(self, inner: TopKIndex, stats: QueryStats) -> None:
+    def __init__(self, inner: TopKIndex, stats: QueryStats, timed: bool = False) -> None:
         self._inner = inner
         self.stats = stats
+        self.timed = timed
+        self.elapsed = 0.0
+        self.calls = 0
+        self.scanned = 0
+        self.first_start: float | None = None
 
     @property
     def n(self) -> int:
@@ -87,11 +99,28 @@ class CountingTopKIndex:
 
     def top1(self, lo: int, hi: int, kind: TopKKind = "candidate") -> int | None:
         self._count(kind)
-        return self._inner.top1(lo, hi)
+        if not self.timed:
+            return self._inner.top1(lo, hi)
+        start = perf_counter()
+        found = self._inner.top1(lo, hi)
+        self._clock(start, 1 if found is not None else 0)
+        return found
 
     def topk(self, k: int, lo: int, hi: int, kind: TopKKind = "durability") -> list[int]:
         self._count(kind)
-        return self._inner.topk(k, lo, hi)
+        if not self.timed:
+            return self._inner.topk(k, lo, hi)
+        start = perf_counter()
+        found = self._inner.topk(k, lo, hi)
+        self._clock(start, len(found))
+        return found
+
+    def _clock(self, start: float, scanned: int) -> None:
+        if self.first_start is None:
+            self.first_start = start
+        self.elapsed += perf_counter() - start
+        self.calls += 1
+        self.scanned += scanned
 
     def _count(self, kind: TopKKind) -> None:
         if kind == "durability":

@@ -42,6 +42,7 @@ from repro.core.record import Dataset
 from repro.index.range_topk import ScoreArrayTopKIndex
 from repro.index.topk import BatchTopKMemo, CountingTopKIndex
 from repro.ingest.segments import Segment, SegmentedTopKIndex, TailBuffer
+from repro.obs import add_span, global_registry, trace_span, tracing_active
 
 __all__ = ["LiveDataset", "LiveSnapshot"]
 
@@ -269,6 +270,9 @@ class LiveDataset:
                     state.base + m,
                 )
                 self.seals += 1
+                registry = global_registry()
+                registry.counter("ingest.seals").inc()
+                registry.gauge("ingest.segments").set(len(self._state.segments))
         return m
 
     def _compaction_run(self, segments: tuple[Segment, ...]) -> tuple[int, int] | None:
@@ -325,6 +329,9 @@ class LiveDataset:
                     state.base,
                 )
                 self.compactions += 1
+                registry = global_registry()
+                registry.counter("ingest.compactions").inc()
+                registry.gauge("ingest.segments").set(len(self._state.segments))
         return len(victims) - 1
 
     def start_maintenance(self, poll_seconds: float = 0.05) -> None:
@@ -454,20 +461,37 @@ class LiveDataset:
         lo, hi = query.resolve_interval(n)
         stats = QueryStats()
         algo = get_algorithm(algorithm)
-        start = time.perf_counter()
-        index = CountingTopKIndex(inner, stats)
-        ctx = AlgorithmContext(
-            dataset=_SnapshotView(snap),  # type: ignore[arg-type]
-            index=index,
-            scorer=scorer,
-            k=query.k,
-            tau=query.tau,
-            lo=lo,
-            hi=hi,
-            stats=stats,
-        )
-        ids = algo.run(ctx)
-        elapsed = time.perf_counter() - start
+        with trace_span(
+            "ingest.snapshot",
+            algorithm=algorithm,
+            snapshot_n=n,
+            snapshot_version=snap.version,
+            segments=len(snap.segments),
+            tail_rows=len(snap.tail_values),
+        ) as span:
+            start = time.perf_counter()
+            index = CountingTopKIndex(inner, stats, timed=tracing_active())
+            ctx = AlgorithmContext(
+                dataset=_SnapshotView(snap),  # type: ignore[arg-type]
+                index=index,
+                scorer=scorer,
+                k=query.k,
+                tau=query.tau,
+                lo=lo,
+                hi=hi,
+                stats=stats,
+            )
+            ids = algo.run(ctx)
+            elapsed = time.perf_counter() - start
+            span.set(answers=len(ids), topk_queries=stats.topk_queries)
+            if index.timed and index.calls:
+                add_span(
+                    "index.topk",
+                    start=index.first_start,
+                    duration=index.elapsed,
+                    calls=index.calls,
+                    candidates_scanned=index.scanned,
+                )
         result = DurableTopKResult(
             ids=ids,
             query=query,
@@ -501,20 +525,30 @@ class LiveDataset:
         lo, hi = mirrored.resolve_interval(n)
         stats = QueryStats()
         algo = get_algorithm(algorithm)
-        start = time.perf_counter()
-        index = CountingTopKIndex(inner, stats)
-        ctx = AlgorithmContext(
-            dataset=_SnapshotView(snap),  # type: ignore[arg-type]
-            index=index,
-            scorer=scorer,
-            k=mirrored.k,
-            tau=mirrored.tau,
-            lo=lo,
-            hi=hi,
-            stats=stats,
-        )
-        rev_ids = algo.run(ctx)
-        elapsed = time.perf_counter() - start
+        with trace_span(
+            "ingest.snapshot",
+            algorithm=algorithm,
+            direction="future",
+            snapshot_n=n,
+            snapshot_version=snap.version,
+            segments=len(snap.segments),
+            tail_rows=len(snap.tail_values),
+        ) as span:
+            start = time.perf_counter()
+            index = CountingTopKIndex(inner, stats, timed=tracing_active())
+            ctx = AlgorithmContext(
+                dataset=_SnapshotView(snap),  # type: ignore[arg-type]
+                index=index,
+                scorer=scorer,
+                k=mirrored.k,
+                tau=mirrored.tau,
+                lo=lo,
+                hi=hi,
+                stats=stats,
+            )
+            rev_ids = algo.run(ctx)
+            elapsed = time.perf_counter() - start
+            span.set(answers=len(rev_ids), topk_queries=stats.topk_queries)
         result = DurableTopKResult(
             ids=sorted(n - 1 - t for t in rev_ids),
             query=query,

@@ -36,6 +36,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import global_registry
+
 __all__ = ["WriteAheadLog", "WalRecoveryReport"]
 
 _MAGIC = b"RWAL1\x00"
@@ -119,11 +121,16 @@ class WriteAheadLog:
     def flush(self, sync: bool = False) -> None:
         """Write buffered entries out; ``sync`` additionally fsyncs."""
         if self._pending:
+            # Group-commit size: rows made durable by this single write.
+            global_registry().histogram("wal.group_commit_rows").observe(
+                len(self._pending) // self._entry.size
+            )
             self._file.write(bytes(self._pending))
             self._pending.clear()
         self._file.flush()
         if sync:
             os.fsync(self._file.fileno())
+            global_registry().counter("wal.fsyncs").inc()
 
     def reset(self, generation: int | None = None) -> None:
         """Drop every logged entry and advance the generation.

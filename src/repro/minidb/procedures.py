@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.minidb.database import MiniDB
+from repro.obs import trace_span
 
 __all__ = [
     "ProcedureReport",
@@ -143,22 +144,28 @@ def t_hop_procedure(
     if hi < lo:
         return _empty_report("t-hop")
     session = _procedure_session(db, u, session)
-    db.reset_io(cold=cold)
-    start = time.perf_counter()
-    answer: list[int] = []
-    queries = 0
-    t = hi
-    while t >= lo:
-        top = db.topk(u, k, t - tau, t, session=session)
-        queries += 1
-        if t in top:
-            answer.append(t)
-            t -= 1
-        else:
-            t = max(top)
-    elapsed = time.perf_counter() - start
-    answer.reverse()
-    io = db.io_stats()
+    with trace_span("minidb.pages", algorithm="t-hop", k=k, tau=tau, lo=lo, hi=hi) as span:
+        db.reset_io(cold=cold)
+        start = time.perf_counter()
+        answer: list[int] = []
+        queries = 0
+        t = hi
+        while t >= lo:
+            top = db.topk(u, k, t - tau, t, session=session)
+            queries += 1
+            if t in top:
+                answer.append(t)
+                t -= 1
+            else:
+                t = max(top)
+        elapsed = time.perf_counter() - start
+        answer.reverse()
+        io = db.io_stats()
+        span.set(
+            topk_queries=queries,
+            logical_reads=int(io["logical_reads"]),
+            physical_reads=int(io["physical_reads"]),
+        )
     return ProcedureReport(
         ids=answer,
         algorithm="t-hop",
@@ -192,45 +199,51 @@ def t_base_procedure(
     if hi < lo:
         return _empty_report("t-base")
     session = _procedure_session(db, u, session)
-    db.reset_io(cold=cold)
-    start = time.perf_counter()
-    answer: list[int] = []
-    queries = 1
-    t = hi
-    top_keys: list[tuple[float, int]] = sorted(
-        (db.score_of(u, i, session=session), i)
-        for i in db.topk(u, k, t - tau, t, session=session)
-    )
-    top_ids = {i for _, i in top_keys}
-    while t >= lo:
-        if t in top_ids:
-            answer.append(t)
-        if t == lo:
-            break
-        if t in top_ids:
-            queries += 1
-            top_keys = sorted(
-                (db.score_of(u, i, session=session), i)
-                for i in db.topk(u, k, t - 1 - tau, t - 1, session=session)
-            )
-            top_ids = {i for _, i in top_keys}
-        else:
-            entering = t - 1 - tau
-            if entering >= 0:
-                key = (db.score_of(u, entering, session=session), entering)
-                if len(top_keys) < k:
-                    bisect.insort(top_keys, key)
-                    top_ids.add(entering)
-                elif key > top_keys[0]:
-                    _, evicted = top_keys[0]
-                    top_ids.discard(evicted)
-                    top_keys.pop(0)
-                    bisect.insort(top_keys, key)
-                    top_ids.add(entering)
-        t -= 1
-    elapsed = time.perf_counter() - start
-    answer.reverse()
-    io = db.io_stats()
+    with trace_span("minidb.pages", algorithm="t-base", k=k, tau=tau, lo=lo, hi=hi) as span:
+        db.reset_io(cold=cold)
+        start = time.perf_counter()
+        answer: list[int] = []
+        queries = 1
+        t = hi
+        top_keys: list[tuple[float, int]] = sorted(
+            (db.score_of(u, i, session=session), i)
+            for i in db.topk(u, k, t - tau, t, session=session)
+        )
+        top_ids = {i for _, i in top_keys}
+        while t >= lo:
+            if t in top_ids:
+                answer.append(t)
+            if t == lo:
+                break
+            if t in top_ids:
+                queries += 1
+                top_keys = sorted(
+                    (db.score_of(u, i, session=session), i)
+                    for i in db.topk(u, k, t - 1 - tau, t - 1, session=session)
+                )
+                top_ids = {i for _, i in top_keys}
+            else:
+                entering = t - 1 - tau
+                if entering >= 0:
+                    key = (db.score_of(u, entering, session=session), entering)
+                    if len(top_keys) < k:
+                        bisect.insort(top_keys, key)
+                        top_ids.add(entering)
+                    elif key > top_keys[0]:
+                        _, evicted = top_keys[0]
+                        top_ids.discard(evicted)
+                        top_keys.pop(0)
+                        bisect.insort(top_keys, key)
+                        top_ids.add(entering)
+            t -= 1
+        elapsed = time.perf_counter() - start
+        answer.reverse()
+        io = db.io_stats()
+        span.set(
+            topk_queries=queries,
+            logical_reads=int(io["logical_reads"]),
+            physical_reads=int(io["physical_reads"]),
+        )
     return ProcedureReport(
         ids=answer,
         algorithm="t-base",

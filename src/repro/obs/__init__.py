@@ -1,0 +1,78 @@
+"""repro.obs — low-overhead tracing + metrics for the whole stack.
+
+Two halves:
+
+- :mod:`repro.obs.trace`: per-query trace spans on a thread-local
+  stack, a bounded slowest-N trace buffer, and cross-process trace
+  stitching over the shard pipe protocol.  Off by default; the disabled
+  fast path is one boolean check per call site.
+- :mod:`repro.obs.registry`: named counter/gauge/histogram series.  The
+  process-wide :func:`global_registry` collects low-frequency events
+  from every layer (WAL fsyncs, seals, evictions, worker restarts); the
+  service ``MetricsCollector`` folds its counters into a private
+  registry per collector.
+
+Exporters live in :mod:`repro.obs.export`: Prometheus text exposition,
+JSON log lines (``repro --log-json``), and trace waterfalls
+(``repro trace``).
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.trace import (
+    TRACES,
+    Span,
+    Trace,
+    TraceBuffer,
+    absorb_remote_spans,
+    add_span,
+    begin_remote,
+    current_context,
+    current_span,
+    disable,
+    enable,
+    end_remote,
+    is_enabled,
+    spans_started,
+    trace_span,
+    tracing_active,
+)
+from repro.obs.export import (
+    configure_json_logging,
+    format_waterfall,
+    log_event,
+    render_prometheus,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "TRACES",
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "trace_span",
+    "add_span",
+    "current_span",
+    "current_context",
+    "tracing_active",
+    "enable",
+    "disable",
+    "is_enabled",
+    "spans_started",
+    "begin_remote",
+    "end_remote",
+    "absorb_remote_spans",
+    "configure_json_logging",
+    "render_prometheus",
+    "format_waterfall",
+    "log_event",
+]

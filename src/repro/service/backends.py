@@ -160,6 +160,19 @@ class ShardedBackend:
         """Scatter the batch as one seq-tagged sub-request per shard."""
         return self.coordinator.query_batch(requests)
 
+    def metrics_source(self) -> dict:
+        """Worker lifecycle counters for the service metrics snapshot.
+
+        Polled by :class:`~repro.service.metrics.MetricsCollector` at
+        snapshot time; reads coordinator-local counters only (no pipe
+        round-trip), so it is safe to call at any frequency.
+        """
+        stats = self.coordinator.stats()
+        return {
+            "shard_restarts": stats["restarts"],
+            "shard_revivals": stats["revivals"],
+        }
+
     def close(self) -> None:
         """Stop the shard workers (and their shared block, if owned)."""
         self.coordinator.close()

@@ -3,18 +3,29 @@
 The collector answers the questions an SLO dashboard asks of a top-k
 serving system: how many requests per second, what the p50/p95/p99
 latency is, how often the session pool served a warm session, and how
-many requests were turned away (and why). All counters are guarded by
-one lock; the service records a handful of events per *batch*, so the
-lock is far off the per-query hot path.
+many requests were turned away (and why).
+
+Since the obs PR the collector is a facade over a
+:class:`repro.obs.MetricsRegistry`: every service counter is a named
+registry series (``service.requests.submitted``,
+``service.rejected{reason=...}``, ``service.latency_seconds`` ...), so
+the same numbers the snapshot reports are exposable as Prometheus text
+via :func:`repro.obs.render_prometheus`. Each collector owns a private
+registry by default — bench drivers create or reset one per measured
+round — while process-wide series (WAL, pool evictions, shard restarts)
+live in the obs global registry. The snapshot/report API is unchanged.
+
+The service records a handful of events per *batch*; each touches a few
+per-series locks, far off the per-query hot path.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro.obs import MetricsRegistry
 from repro.service.request import QueryResponse, RejectionReason
 
 __all__ = ["MetricsCollector", "MetricsSnapshot", "percentile"]
@@ -68,6 +79,11 @@ class MetricsSnapshot:
     shard_queries: dict[int, int] = field(default_factory=dict)
     #: Requests answered by another request's execution (single-flight).
     coalesced: int = 0
+    #: Shard worker processes respawned (lifetime of the backend), and
+    #: the subset revived by a health check finding them dead between
+    #: requests. Zero off sharded backends.
+    shard_restarts: int = 0
+    shard_revivals: int = 0
 
     @property
     def throughput(self) -> float:
@@ -121,6 +137,9 @@ class MetricsSnapshot:
             out["fanout"] = dict(self.fanout)
             out["mean_fanout"] = round(self.mean_fanout, 3)
             out["shard_queries"] = dict(self.shard_queries)
+        if self.shard_restarts or self.shard_revivals:
+            out["shard_restarts"] = self.shard_restarts
+            out["shard_revivals"] = self.shard_revivals
         return out
 
     def report(self, title: str = "service metrics") -> str:
@@ -152,6 +171,11 @@ class MetricsSnapshot:
                 f"  shard fanout: mean {self.mean_fanout:.2f} "
                 f"(width->requests: {widths}; sub-queries: {shares})"
             )
+        if self.fanout or self.shard_restarts or self.shard_revivals:
+            lines.append(
+                f"  shard workers: {self.shard_restarts} restarts "
+                f"({self.shard_revivals} health-check revivals)"
+            )
         return "\n".join(lines)
 
 
@@ -164,47 +188,102 @@ class MetricsCollector:
     (``sample_window`` most recent responses), so a long-lived service
     reports recent percentiles at constant memory instead of growing a
     list per request forever.
+
+    Every counter is a series in ``self.registry`` (private by default;
+    pass one to share). ``add_source`` registers a callable polled at
+    snapshot time for backend-owned gauges — the sharded backend reports
+    its worker restarts/revivals this way, so the service snapshot
+    surfaces them like ``fanout`` without the service polling shards.
     """
 
-    def __init__(self, sample_window: int = 65_536) -> None:
+    def __init__(
+        self, sample_window: int = 65_536, registry: MetricsRegistry | None = None
+    ) -> None:
         if sample_window < 1:
             raise ValueError(f"sample_window must be >= 1, got {sample_window}")
-        self._lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._started = time.perf_counter()
-        self.submitted = 0
-        self.completed = 0
-        self.rejected: dict[str, int] = {}
-        self.batches = 0
-        self.pool_hits = 0
-        self.pool_misses = 0
-        self._latency: deque[float] = deque(maxlen=sample_window)
-        self._wait: deque[float] = deque(maxlen=sample_window)
-        self._service: deque[float] = deque(maxlen=sample_window)
-        self.fanout: dict[int, int] = {}
-        self.shard_queries: dict[int, int] = {}
-        self.coalesced = 0
+        self._submitted = self.registry.counter("service.requests.submitted")
+        self._completed = self.registry.counter("service.requests.completed")
+        self._batches = self.registry.counter("service.batches")
+        self._pool_hits = self.registry.counter("service.pool.hits")
+        self._pool_misses = self.registry.counter("service.pool.misses")
+        self._coalesced = self.registry.counter("service.coalesced")
+        self._latency = self.registry.histogram(
+            "service.latency_seconds", window=sample_window
+        )
+        self._wait = self.registry.histogram(
+            "service.wait_seconds", window=sample_window
+        )
+        self._service = self.registry.histogram(
+            "service.time_seconds", window=sample_window
+        )
+        self._sources: list[Callable[[], dict]] = []
+
+    # -- back-compat attribute surface ----------------------------------
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def completed(self) -> int:
+        return self._completed.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def pool_hits(self) -> int:
+        return self._pool_hits.value
+
+    @property
+    def pool_misses(self) -> int:
+        return self._pool_misses.value
+
+    @property
+    def coalesced(self) -> int:
+        return self._coalesced.value
+
+    def _labeled(self, name: str, label: str, as_int_key: bool = False) -> dict:
+        out: dict = {}
+        for series in self.registry.collect(kind="counter", prefix=name):
+            labels = dict(series.labels)
+            if label not in labels:
+                continue
+            key = int(labels[label]) if as_int_key else labels[label]
+            out[key] = series.value
+        return out
+
+    @property
+    def rejected(self) -> dict[str, int]:
+        return self._labeled("service.rejected", "reason")
+
+    @property
+    def fanout(self) -> dict[int, int]:
+        return self._labeled("service.fanout", "width", as_int_key=True)
+
+    @property
+    def shard_queries(self) -> dict[int, int]:
+        return self._labeled("service.shard_queries", "shard", as_int_key=True)
 
     # -- recording hooks (called by DurableTopKService) -----------------
     def record_submit(self) -> None:
-        with self._lock:
-            self.submitted += 1
+        self._submitted.inc()
 
     def record_rejection(self, reason: RejectionReason) -> None:
-        with self._lock:
-            self.rejected[reason.value] = self.rejected.get(reason.value, 0) + 1
+        self.registry.counter("service.rejected", reason=reason.value).inc()
 
     def record_batch(self, pool_hit: bool) -> None:
-        with self._lock:
-            self.batches += 1
-            if pool_hit:
-                self.pool_hits += 1
-            else:
-                self.pool_misses += 1
+        self._batches.inc()
+        if pool_hit:
+            self._pool_hits.inc()
+        else:
+            self._pool_misses.inc()
 
     def record_coalesced(self, n: int) -> None:
         """Count requests that rode another identical request's execution."""
-        with self._lock:
-            self.coalesced += n
+        self._coalesced.inc(n)
 
     def record_response(self, response: QueryResponse) -> None:
         if response.error is not None:
@@ -212,46 +291,77 @@ class MetricsCollector:
         shards = None
         if response.result is not None:
             shards = response.result.extra.get("shards")
-        with self._lock:
-            self.completed += 1
-            self._latency.append(response.total_seconds)
-            self._wait.append(response.wait_seconds)
-            self._service.append(response.service_seconds)
-            if shards:
-                # Sharded backends stamp the scatter set on every result;
-                # fold it into the fanout histogram and per-shard shares.
-                width = len(shards)
-                self.fanout[width] = self.fanout.get(width, 0) + 1
-                for shard in shards:
-                    self.shard_queries[shard] = self.shard_queries.get(shard, 0) + 1
+        self._completed.inc()
+        self._latency.observe(response.total_seconds)
+        self._wait.observe(response.wait_seconds)
+        self._service.observe(response.service_seconds)
+        if shards:
+            # Sharded backends stamp the scatter set on every result;
+            # fold it into the fanout histogram and per-shard shares.
+            self.registry.counter("service.fanout", width=len(shards)).inc()
+            for shard in shards:
+                self.registry.counter("service.shard_queries", shard=shard).inc()
+
+    def add_source(self, source: Callable[[], dict]) -> None:
+        """Poll ``source()`` at snapshot time for backend-owned counters.
+
+        The returned dict's ``shard_restarts``/``shard_revivals`` keys
+        land in the matching snapshot fields; anything else lands in
+        ``snapshot.extra``. Source failures are surfaced, not swallowed —
+        a backend that registers a source promises it stays callable.
+        """
+        self._sources.append(source)
 
     def reset_clock(self) -> None:
-        """Restart the throughput window (e.g. after warmup)."""
-        with self._lock:
-            self._started = time.perf_counter()
+        """Restart the throughput window only.
+
+        Samples and counters recorded before the call survive — after a
+        warmup phase that is almost never what a measurement wants, since
+        warmup latencies keep polluting the percentile windows. Use
+        :meth:`reset` between warmup and the measured run.
+        """
+        self._started = time.perf_counter()
+
+    def reset(self) -> None:
+        """Full reset: clock, samples and every counter series.
+
+        This is the post-warmup reset: percentiles, throughput and
+        counters all start from zero. Snapshot sources stay registered
+        (backend-lifetime counters like shard restarts are cumulative by
+        design).
+        """
+        self.registry.reset()
+        self._started = time.perf_counter()
 
     # -- reading ---------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
-        with self._lock:
-            latency = list(self._latency)
-            wait = list(self._wait)
-            service = list(self._service)
-            elapsed = time.perf_counter() - self._started
-            return MetricsSnapshot(
-                elapsed_seconds=elapsed,
-                submitted=self.submitted,
-                completed=self.completed,
-                rejected=dict(self.rejected),
-                batches=self.batches,
-                pool_hits=self.pool_hits,
-                pool_misses=self.pool_misses,
-                latency_p50=percentile(latency, 50),
-                latency_p95=percentile(latency, 95),
-                latency_p99=percentile(latency, 99),
-                latency_mean=sum(latency) / len(latency) if latency else 0.0,
-                wait_p95=percentile(wait, 95),
-                service_p95=percentile(service, 95),
-                fanout=dict(self.fanout),
-                shard_queries=dict(self.shard_queries),
-                coalesced=self.coalesced,
-            )
+        latency = self._latency.samples()
+        wait = self._wait.samples()
+        service = self._service.samples()
+        elapsed = time.perf_counter() - self._started
+        sourced: dict = {}
+        for source in self._sources:
+            sourced.update(source())
+        shard_restarts = int(sourced.pop("shard_restarts", 0))
+        shard_revivals = int(sourced.pop("shard_revivals", 0))
+        return MetricsSnapshot(
+            elapsed_seconds=elapsed,
+            submitted=self.submitted,
+            completed=self.completed,
+            rejected=self.rejected,
+            batches=self.batches,
+            pool_hits=self.pool_hits,
+            pool_misses=self.pool_misses,
+            latency_p50=percentile(latency, 50),
+            latency_p95=percentile(latency, 95),
+            latency_p99=percentile(latency, 99),
+            latency_mean=sum(latency) / len(latency) if latency else 0.0,
+            wait_p95=percentile(wait, 95),
+            service_p95=percentile(service, 95),
+            extra=sourced,
+            fanout=self.fanout,
+            shard_queries=self.shard_queries,
+            coalesced=self.coalesced,
+            shard_restarts=shard_restarts,
+            shard_revivals=shard_revivals,
+        )

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from typing import Callable, Hashable
 
 from repro.core.session import QuerySession
+from repro.obs import global_registry
 
 __all__ = ["SessionPool"]
 
@@ -84,6 +85,7 @@ class SessionPool:
                 if len(self._idle) > self.capacity:
                     _, evicted = self._idle.popitem(last=False)
                     self.evictions += 1
+                    global_registry().counter("service.pool.evictions").inc()
         if evicted is not None:
             evicted.close()
 

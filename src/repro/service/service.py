@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.batch import clone_result
+from repro.obs import add_span, trace_span
 from repro.service.metrics import MetricsCollector
 from repro.service.pool import SessionPool
 from repro.service.request import (
@@ -121,6 +122,11 @@ class DurableTopKService:
         self.default_timeout = default_timeout
         self.pool = SessionPool(pool_capacity)
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        # Backends that own lifecycle counters (the sharded backend's
+        # worker restarts/revivals) publish them into the snapshot here.
+        source = getattr(backend, "metrics_source", None)
+        if source is not None:
+            self.metrics.add_source(source)
         self._build_gate = threading.Semaphore(max_concurrent_builds)
 
         self._lock = threading.Lock()
@@ -327,56 +333,74 @@ class DurableTopKService:
         if not live:
             return
 
-        # Single-flight: identical in-flight queries collapse onto one
-        # execution slot; `source[i]` maps live item i to its leader.
-        flight_of: dict[tuple, int] = {}
-        leaders: list[_Pending] = []
-        source: list[int] = []
-        for item, _ in live:
-            signature = self._flight_signature(item.request)
-            slot = flight_of.get(signature)
-            if slot is None:
-                slot = len(leaders)
-                flight_of[signature] = slot
-                leaders.append(item)
-            source.append(slot)
-        coalesced = len(live) - len(leaders)
-        if coalesced:
-            self.metrics.record_coalesced(coalesced)
-
-        try:
-            results: list = self.backend.execute_batch(
-                session, [leader.request for leader in leaders]
+        # The batch trace roots at the earliest enqueue, so trace
+        # duration equals end-to-end latency (queue wait included) and
+        # the slowest-N buffer keeps the worst-latency batches.
+        first_enqueued = min(item.enqueued for item, _ in live)
+        with trace_span(
+            "service.batch",
+            _start=first_enqueued,
+            batch_size=batch_size,
+            pool_hit=pool_hit,
+        ) as span:
+            add_span(
+                "service.queue_wait",
+                start=first_enqueued,
+                duration=now - first_enqueued,
+                wait_min=round(min(wait for _, wait in live), 6),
+                wait_max=round(max(wait for _, wait in live), 6),
             )
-        except BaseException:
-            # The batched path failed as a whole; fall back to per-leader
-            # execution so a single bad request (e.g. a direction the
-            # backend rejects) fails only its own group's futures.
-            results = []
-            for leader in leaders:
-                try:
-                    results.append(self.backend.execute(session, leader.request))
-                except BaseException as exc:
-                    results.append(exc)
+            # Single-flight: identical in-flight queries collapse onto one
+            # execution slot; `source[i]` maps live item i to its leader.
+            flight_of: dict[tuple, int] = {}
+            leaders: list[_Pending] = []
+            source: list[int] = []
+            for item, _ in live:
+                signature = self._flight_signature(item.request)
+                slot = flight_of.get(signature)
+                if slot is None:
+                    slot = len(leaders)
+                    flight_of[signature] = slot
+                    leaders.append(item)
+                source.append(slot)
+            coalesced = len(live) - len(leaders)
+            if coalesced:
+                self.metrics.record_coalesced(coalesced)
+            span.set(leaders=len(leaders), coalesced=coalesced)
 
-        done = time.perf_counter()
-        for (item, wait), slot in zip(live, source):
-            outcome = results[slot]
-            if isinstance(outcome, BaseException):
-                item.future.set_exception(outcome)
-                continue
-            result = outcome if item is leaders[slot] else clone_result(outcome)
-            response = QueryResponse(
-                request=item.request,
-                result=result,
-                wait_seconds=wait,
-                service_seconds=done - now,
-                total_seconds=done - item.enqueued,
-                batch_size=batch_size,
-                pool_hit=pool_hit,
-            )
-            self.metrics.record_response(response)
-            item.future.set_result(response)
+            try:
+                results: list = self.backend.execute_batch(
+                    session, [leader.request for leader in leaders]
+                )
+            except BaseException:
+                # The batched path failed as a whole; fall back to per-leader
+                # execution so a single bad request (e.g. a direction the
+                # backend rejects) fails only its own group's futures.
+                results = []
+                for leader in leaders:
+                    try:
+                        results.append(self.backend.execute(session, leader.request))
+                    except BaseException as exc:
+                        results.append(exc)
+
+            done = time.perf_counter()
+            for (item, wait), slot in zip(live, source):
+                outcome = results[slot]
+                if isinstance(outcome, BaseException):
+                    item.future.set_exception(outcome)
+                    continue
+                result = outcome if item is leaders[slot] else clone_result(outcome)
+                response = QueryResponse(
+                    request=item.request,
+                    result=result,
+                    wait_seconds=wait,
+                    service_seconds=done - now,
+                    total_seconds=done - item.enqueued,
+                    batch_size=batch_size,
+                    pool_hit=pool_hit,
+                )
+                self.metrics.record_response(response)
+                item.future.set_result(response)
 
 
 class LockedEngineService:

@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.core.query import DurableTopKResult, QueryStats
 from repro.core.record import Dataset
+from repro.obs import absorb_remote_spans, current_context, global_registry, trace_span
 from repro.service.request import QueryRequest, preference_key
 from repro.shard.dataset import ShardedDataset, ShardSpan, merge_shard_answers
 from repro.shard.worker import shard_worker_main, unpack_stats
@@ -76,8 +77,16 @@ class ShardWorkerHandle:
         )
         self._reader.start()
 
-    def submit(self, op: str, payload: Any) -> "Future[Any]":
-        """Send one request; the returned future resolves off-thread."""
+    def submit(
+        self, op: str, payload: Any, trace_ctx: tuple[str, str] | None = None
+    ) -> "Future[Any]":
+        """Send one request; the returned future resolves off-thread.
+
+        ``trace_ctx`` is a ``(trace_id, parent_span_id)`` pair piggybacked
+        on the seq-tagged message; the worker collects its spans under it
+        and ships them back on the response, where the reader thread
+        stitches them into the coordinator-side trace.
+        """
         future: "Future[Any]" = Future()
         with self._lock:
             if not self.alive:
@@ -85,7 +94,7 @@ class ShardWorkerHandle:
             seq = next(self._seq)
             self._pending[seq] = future
             try:
-                self.conn.send((seq, op, payload))
+                self.conn.send((seq, op, payload, trace_ctx))
             except (BrokenPipeError, OSError) as exc:
                 self._pending.pop(seq, None)
                 self.alive = False
@@ -100,11 +109,17 @@ class ShardWorkerHandle:
     def _read_loop(self) -> None:
         while True:
             try:
-                seq, status, payload = self.conn.recv()
+                message = self.conn.recv()
             except (EOFError, OSError):
                 break
             except Exception:
                 break
+            seq, status, payload = message[0], message[1], message[2]
+            if len(message) > 3 and message[3]:
+                # Stitch worker-process spans into the in-flight trace
+                # *before* the future resolves, so they are in place by
+                # the time the querying thread closes its scatter span.
+                absorb_remote_spans(message[3])
             with self._lock:
                 future = self._pending.pop(seq, None)
             if future is None:
@@ -212,6 +227,7 @@ class ShardCoordinator:
         self.subqueries: dict[int, int] = {span.shard: 0 for span in self.spans}
         self.fanout: dict[int, int] = {}
         self.restarts = 0
+        self.revivals = 0
         self._handles: list[ShardWorkerHandle] = [self._spawn(span) for span in self.spans]
 
     # ------------------------------------------------------------------
@@ -241,8 +257,15 @@ class ShardCoordinator:
         child_conn.close()
         return ShardWorkerHandle(span, process, parent_conn)
 
-    def _restart(self, shard: int, failed: ShardWorkerHandle) -> ShardWorkerHandle:
-        """Replace a crashed handle (first caller wins; others reuse it)."""
+    def _restart(
+        self, shard: int, failed: ShardWorkerHandle, revival: bool = False
+    ) -> ShardWorkerHandle:
+        """Replace a crashed handle (first caller wins; others reuse it).
+
+        ``revival`` marks restarts initiated by :meth:`health_check`
+        finding a worker dead *between* requests, as opposed to a crash
+        surfacing mid-request; both count as restarts.
+        """
         with self._restart_lock:
             if self._closed:
                 raise ShardCrashed(f"shard {shard}: coordinator is closed")
@@ -253,21 +276,28 @@ class ShardCoordinator:
                 self._handles[shard] = current
                 with self._stats_lock:
                     self.restarts += 1
+                    if revival:
+                        self.revivals += 1
+                global_registry().counter("shard.worker.restarts", shard=shard).inc()
+                if revival:
+                    global_registry().counter("shard.worker.revivals", shard=shard).inc()
             return current
 
-    def _call(self, shard: int, op: str, payload: Any) -> Any:
+    def _call(
+        self, shard: int, op: str, payload: Any, trace_ctx: tuple[str, str] | None = None
+    ) -> Any:
         """One sub-request with submit-side and gather-side crash retry."""
         handle = self._handles[shard]
         try:
-            future = handle.submit(op, payload)
+            future = handle.submit(op, payload, trace_ctx)
         except ShardCrashed:
             handle = self._restart(shard, handle)
-            future = handle.submit(op, payload)
+            future = handle.submit(op, payload, trace_ctx)
         try:
             return future.result(timeout=self.request_timeout)
         except ShardCrashed:
             retry = self._restart(shard, handle)
-            return retry.submit(op, payload).result(timeout=self.request_timeout)
+            return retry.submit(op, payload, trace_ctx).result(timeout=self.request_timeout)
         except FutureTimeoutError as exc:
             raise TimeoutError(
                 f"shard {shard} did not answer within {self.request_timeout}s"
@@ -284,7 +314,7 @@ class ShardCoordinator:
         infos = []
         for shard, handle in enumerate(self._handles):
             if restart_dead and not handle.alive:
-                self._restart(shard, handle)
+                self._restart(shard, handle, revival=True)
             infos.append(self._call(shard, "ping", None))
         return infos
 
@@ -300,6 +330,7 @@ class ShardCoordinator:
                 "subqueries": dict(self.subqueries),
                 "fanout": dict(self.fanout),
                 "restarts": self.restarts,
+                "revivals": self.revivals,
                 "shards": self.n_shards,
             }
 
@@ -341,27 +372,33 @@ class ShardCoordinator:
             clipped = span.intersect(lo, hi)
             if clipped is not None:
                 targets.append((span.shard, clipped))
-        start = time.perf_counter()
-        answers = self._scatter(
-            "query",
-            [
-                (
-                    shard,
-                    {
-                        "scorer": request.scorer,
-                        "k": request.k,
-                        "tau": request.tau,
-                        "lo": qlo,
-                        "hi": qhi,
-                        "direction": request.direction.value,
-                        "algorithm": request.algorithm,
-                        "with_durations": with_durations,
-                    },
-                )
-                for shard, (qlo, qhi) in targets
-            ],
-        )
-        elapsed = time.perf_counter() - start
+        with trace_span(
+            "shard.scatter",
+            op="query",
+            fanout=len(targets),
+            shards=[shard for shard, _ in targets],
+        ):
+            start = time.perf_counter()
+            answers = self._scatter(
+                "query",
+                [
+                    (
+                        shard,
+                        {
+                            "scorer": request.scorer,
+                            "k": request.k,
+                            "tau": request.tau,
+                            "lo": qlo,
+                            "hi": qhi,
+                            "direction": request.direction.value,
+                            "algorithm": request.algorithm,
+                            "with_durations": with_durations,
+                        },
+                    )
+                    for shard, (qlo, qhi) in targets
+                ],
+            )
+            elapsed = time.perf_counter() - start
 
         stats = QueryStats()
         durations: dict[int, int] = {}
@@ -444,22 +481,29 @@ class ShardCoordinator:
             targets_per_query.append(touched)
 
         shards = sorted(per_shard_entries)
-        start = time.perf_counter()
-        shard_answers = self._scatter(
-            "query_batch",
-            [
-                (
-                    shard,
-                    {
-                        "scorer": requests[0].scorer,
-                        "queries": per_shard_entries[shard],
-                        "with_durations": with_durations,
-                    },
-                )
-                for shard in shards
-            ],
-        )
-        elapsed = time.perf_counter() - start
+        with trace_span(
+            "shard.scatter",
+            op="query_batch",
+            batch_size=len(requests),
+            fanout=len(shards),
+            shards=list(shards),
+        ):
+            start = time.perf_counter()
+            shard_answers = self._scatter(
+                "query_batch",
+                [
+                    (
+                        shard,
+                        {
+                            "scorer": requests[0].scorer,
+                            "queries": per_shard_entries[shard],
+                            "with_durations": with_durations,
+                        },
+                    )
+                    for shard in shards
+                ],
+            )
+            elapsed = time.perf_counter() - start
         answer_of: dict[tuple[int, int], dict] = {}
         for shard, answers in zip(shards, shard_answers):
             for position, answer in zip(per_shard_positions[shard], answers):
@@ -512,24 +556,27 @@ class ShardCoordinator:
         resubmit of exactly the lost payloads. Works for single
         (``"query"``) and batched (``"query_batch"``) sub-requests alike.
         """
+        trace_ctx = current_context()
         inflight: list[tuple[int, Any, ShardWorkerHandle | None, "Future[Any] | None"]] = []
         for shard, payload in items:
             handle = self._handles[shard]
             try:
-                inflight.append((shard, payload, handle, handle.submit(op, payload)))
+                inflight.append(
+                    (shard, payload, handle, handle.submit(op, payload, trace_ctx))
+                )
             except ShardCrashed:
                 inflight.append((shard, payload, None, None))  # restart at gather time
         answers = []
         for shard, payload, handle, future in inflight:
             if future is None:
-                answers.append(self._call(shard, op, payload))
+                answers.append(self._call(shard, op, payload, trace_ctx))
                 continue
             try:
                 answers.append(future.result(timeout=self.request_timeout))
             except ShardCrashed:
                 retry = self._restart(shard, handle)
                 answers.append(
-                    retry.submit(op, payload).result(timeout=self.request_timeout)
+                    retry.submit(op, payload, trace_ctx).result(timeout=self.request_timeout)
                 )
             except FutureTimeoutError as exc:
                 raise TimeoutError(

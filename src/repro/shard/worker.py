@@ -13,9 +13,15 @@ which is what makes the coordinator's merge a pure concatenation.
 The wire protocol is one request/response pair per message over a
 ``multiprocessing`` pipe::
 
-    (seq, op, payload)             coordinator -> worker
-    (seq, "ok", result_payload)    worker -> coordinator
-    (seq, "err", (kind, message, traceback))
+    (seq, op, payload[, trace_ctx])          coordinator -> worker
+    (seq, "ok", result_payload[, spans])     worker -> coordinator
+    (seq, "err", (kind, message, traceback)[, spans])
+
+``trace_ctx`` is an optional ``(trace_id, parent_span_id)`` pair: when
+present the worker collects its spans (engine/index work under a
+``shard.worker`` root) under that id and ships them back as the fourth
+response element, so the coordinator can stitch one trace tree spanning
+both processes. Plain 3-tuples remain valid in both directions.
 
 Ops: ``"query"`` (the workhorse), ``"query_batch"`` (a whole batch of
 clipped sub-queries for one preference in one message, answered through
@@ -34,6 +40,7 @@ from typing import Any
 
 from repro.core.engine import DurableTopKEngine
 from repro.core.query import Direction, DurableTopKQuery, QueryStats
+from repro.obs import begin_remote, end_remote, trace_span
 from repro.service.pool import SessionPool
 from repro.service.request import preference_key
 from repro.shard.dataset import ShardSpan, SharedDatasetHandle
@@ -146,13 +153,18 @@ def shard_worker_main(
                 message = conn.recv()
             except (EOFError, OSError, KeyboardInterrupt):
                 break
-            seq, op, payload = message
+            seq, op, payload = message[0], message[1], message[2]
+            trace_ctx = message[3] if len(message) > 3 else None
+            remote = begin_remote(trace_ctx) if trace_ctx is not None else None
+            spans: list[dict] | None = None
             try:
                 if op == "query":
-                    out = _answer_query(engine, pool, payload)
+                    with trace_span("shard.worker", shard=span.shard, op=op, pid=os.getpid()):
+                        out = _answer_query(engine, pool, payload)
                     served += 1
                 elif op == "query_batch":
-                    out = _answer_query_batch(engine, pool, payload)
+                    with trace_span("shard.worker", shard=span.shard, op=op, pid=os.getpid()):
+                        out = _answer_query_batch(engine, pool, payload)
                     served += len(payload["queries"])
                 elif op == "ping":
                     out = {
@@ -173,14 +185,18 @@ def shard_worker_main(
                 else:
                     raise ValueError(f"unknown shard worker op: {op!r}")
             except Exception as exc:
+                if remote is not None:
+                    spans = end_remote(remote)
                 detail = (type(exc).__name__, str(exc), traceback.format_exc())
                 try:
-                    conn.send((seq, "err", detail))
+                    conn.send((seq, "err", detail, spans))
                 except (BrokenPipeError, OSError):
                     break
                 continue
+            if remote is not None:
+                spans = end_remote(remote)
             try:
-                conn.send((seq, "ok", out))
+                conn.send((seq, "ok", out, spans))
             except (BrokenPipeError, OSError):
                 break
     finally:

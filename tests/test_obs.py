@@ -1,0 +1,435 @@
+"""Tests for the observability layer (`repro.obs`).
+
+Covers the PR's contracts: thread-safe span stacks and registry series
+under racing threads, trace propagation across the shard process
+boundary (stitched parent/child ids), slowest-N retention under churn,
+near-zero disabled cost call sites, byte-identical traced answers, the
+metrics fold (full ``reset()``, backend-sourced restart counters), and
+the exporters (Prometheus text, JSON log lines, waterfalls).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKQuery
+from repro.core.record import Dataset
+from repro.minidb import MiniDB, t_hop_procedure
+from repro.obs import (
+    TRACES,
+    MetricsRegistry,
+    Span,
+    Trace,
+    TraceBuffer,
+    absorb_remote_spans,
+    begin_remote,
+    configure_json_logging,
+    current_context,
+    disable,
+    enable,
+    end_remote,
+    format_waterfall,
+    global_registry,
+    render_prometheus,
+    trace_span,
+)
+from repro.obs.trace import reset_for_tests
+from repro.scoring import LinearPreference
+from repro.service import MetricsCollector, QueryRequest, QueryResponse
+from repro.service.request import RejectionReason
+from repro.shard import ShardCoordinator
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts and ends with a pristine tracer."""
+    reset_for_tests()
+    yield
+    reset_for_tests()
+
+
+# ----------------------------------------------------------------------
+# Span stacks and traces
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_disabled_is_noop(self):
+        disable()
+        with trace_span("engine.query", k=3) as span:
+            span.set(answers=1)
+        assert len(TRACES) == 0
+
+    def test_nesting_builds_one_tree(self):
+        enable()
+        with trace_span("service.batch", batch_size=2) as root:
+            with trace_span("engine.query", k=3) as child:
+                child.set(answers=7)
+        traces = TRACES.slowest()
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.root.name == "service.batch"
+        assert trace.root.parent_id is None
+        (inner,) = trace.children_of(trace.root.span_id)
+        assert inner.name == "engine.query"
+        assert inner.attrs["answers"] == 7
+        assert 0.0 <= inner.duration <= trace.root.duration
+        assert root.attrs["batch_size"] == 2
+
+    def test_threads_get_independent_stacks(self):
+        """Racing threads must never cross-link spans (thread-local stacks)."""
+        enable()
+        errors: list[str] = []
+        barrier = threading.Barrier(8)
+
+        def worker(tag: int):
+            barrier.wait()
+            for i in range(50):
+                with trace_span("root", tag=tag, i=i) as root:
+                    with trace_span("child", tag=tag) as child:
+                        if child.parent_id != root.span_id:
+                            errors.append("wrong parent")
+                    if root.attrs["tag"] != tag:
+                        errors.append("attr bleed")
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert TRACES.offered == 8 * 50
+        for trace in TRACES.slowest():
+            tags = {span.attrs["tag"] for span in trace.spans}
+            assert len(tags) == 1  # one thread per trace, never mixed
+            assert len(trace.spans) == 2
+
+    def test_buffer_retains_slowest_under_churn(self):
+        buffer = TraceBuffer(capacity=8)
+        durations = [(i * 7919) % 1000 for i in range(200)]  # deterministic shuffle
+        for i, ms in enumerate(durations):
+            trace = Trace(f"t{i}")
+            trace.add(
+                Span(
+                    trace_id=f"t{i}",
+                    span_id=f"s{i}",
+                    parent_id=None,
+                    name="root",
+                    start=0.0,
+                    duration=ms / 1e3,
+                )
+            )
+            buffer.offer(trace)
+        kept = [t.duration for t in buffer.slowest()]
+        expected = sorted((ms / 1e3 for ms in durations), reverse=True)[:8]
+        assert kept == expected
+        assert buffer.offered == 200
+        buffer.clear()
+        assert len(buffer) == 0
+
+
+# ----------------------------------------------------------------------
+# Cross-process propagation (the shard pipe)
+# ----------------------------------------------------------------------
+class TestRemoteStitching:
+    def test_begin_end_remote_reparents_to_anchor(self):
+        enable()
+        with trace_span("shard.scatter") as scatter:
+            ctx = current_context()
+        assert ctx == (scatter.trace_id, scatter.span_id)
+        # Simulate the worker side of the pipe in-process.
+        reset_for_tests()
+        session = begin_remote(ctx)
+        with trace_span("shard.worker", shard=1):
+            with trace_span("engine.query", k=3):
+                pass
+        wire = end_remote(session)
+        assert len(TRACES) == 0  # remote traces never complete locally
+        assert [w["name"] for w in wire] == ["shard.worker", "engine.query"]
+        worker_root, engine = wire
+        assert worker_root["trace_id"] == scatter.trace_id
+        assert worker_root["parent_id"] == scatter.span_id
+        assert engine["parent_id"] == worker_root["span_id"]
+
+    def test_absorb_stitches_into_inflight_trace_only(self):
+        enable()
+        with trace_span("shard.scatter") as scatter:
+            ctx = current_context()
+            remote = [
+                Span(
+                    trace_id=scatter.trace_id,
+                    span_id="deadbeef-1",
+                    parent_id=ctx[1],
+                    name="shard.worker",
+                    start=scatter.start,
+                    duration=0.001,
+                    pid=99999,
+                ).to_wire()
+            ]
+            absorb_remote_spans(remote)
+        (trace,) = TRACES.slowest()
+        names = [s.name for s in trace.spans]
+        assert names == ["shard.scatter", "shard.worker"]
+        # After completion the same spans are dropped, not resurrected.
+        absorb_remote_spans(remote)
+        assert len(TRACES.slowest()[0].spans) == 2
+
+    def test_sharded_query_yields_one_stitched_tree(self, small_ind):
+        """The acceptance scenario: coordinator + worker spans, one tree."""
+        request = QueryRequest(
+            scorer=LinearPreference([0.6, 0.4]), k=3, tau=120, algorithm="t-hop"
+        )
+        with ShardCoordinator(small_ind, n_shards=3) as coordinator:
+            untraced = coordinator.query(request)
+            enable()
+            with trace_span("service.batch", batch_size=1):
+                traced = coordinator.query(request)
+            disable()
+        # Tracing observes, never participates.
+        assert traced.ids == untraced.ids
+        assert traced.stats.as_dict() == untraced.stats.as_dict()
+
+        (trace,) = TRACES.slowest()
+        root = trace.root
+        (scatter,) = trace.children_of(root.span_id)
+        assert scatter.name == "shard.scatter"
+        assert scatter.attrs["fanout"] == 3
+        workers = trace.children_of(scatter.span_id)
+        assert [w.name for w in workers] == ["shard.worker"] * 3
+        assert {w.attrs["shard"] for w in workers} == {0, 1, 2}
+        pids = {w.pid for w in workers}
+        assert len(pids) == 3 and root.pid not in pids
+        for worker in workers:
+            (engine,) = trace.children_of(worker.span_id)
+            assert engine.name == "engine.query"
+            assert engine.attrs["durability_topk"] >= 1
+            (index,) = trace.children_of(engine.span_id)
+            assert index.name == "index.topk"
+            assert index.attrs["candidates_scanned"] > 0
+            assert index.attrs["calls"] == engine.attrs["durability_topk"]
+
+
+# ----------------------------------------------------------------------
+# Layer attributes
+# ----------------------------------------------------------------------
+class TestLayerSpans:
+    def test_engine_span_answers_match_result(self, small_ind):
+        engine = DurableTopKEngine(small_ind)
+        scorer = LinearPreference([0.5, 0.5])
+        enable()
+        result = engine.query(DurableTopKQuery(k=3, tau=100), scorer)
+        (trace,) = TRACES.slowest()
+        span = trace.root
+        assert span.name == "engine.query"
+        assert span.attrs["answers"] == len(result.ids)
+        assert span.attrs["durability_topk"] == result.stats.durability_topk_queries
+        (index,) = trace.children_of(span.span_id)
+        assert index.name == "index.topk"
+
+    def test_minidb_span_reports_page_counts(self):
+        rng = np.random.default_rng(11)
+        db = MiniDB(Dataset(rng.random((1200, 2)), name="obs-test"), buffer_pages=16)
+        try:
+            u = np.array([0.6, 0.4])
+            untraced = t_hop_procedure(db, u, 3, 200, 200, 999)
+            enable()
+            traced = t_hop_procedure(db, u, 3, 200, 200, 999)
+            disable()
+            assert traced.ids == untraced.ids
+            assert traced.logical_reads == untraced.logical_reads
+            (trace,) = TRACES.slowest()
+            pages = next(s for s in trace.spans if s.name == "minidb.pages")
+            assert pages.attrs["logical_reads"] == traced.logical_reads
+            assert pages.attrs["physical_reads"] == traced.physical_reads
+            assert pages.attrs["topk_queries"] == traced.topk_queries
+        finally:
+            db.close()
+
+
+# ----------------------------------------------------------------------
+# The metrics registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_series_identity_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("wal.fsyncs")
+        assert registry.counter("wal.fsyncs") is a
+        b = registry.counter("rej", reason="timeout")
+        assert registry.counter("rej", reason="queue_full") is not b
+        a.inc()
+        a.inc(4)
+        assert a.value == 5
+        gauge = registry.gauge("segments")
+        gauge.set(3)
+        gauge.dec()
+        assert gauge.value == 2
+        hist = registry.histogram("lat", window=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            hist.observe(v)
+        assert hist.count == 5 and hist.sum == 15.0
+        assert hist.samples() == [2.0, 3.0, 4.0, 5.0]  # bounded window
+        assert hist.percentile(50) == 3.5
+
+    def test_racing_threads_lose_no_increments(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            counter = registry.counter("hits")
+            hist = registry.histogram("obs")
+            for i in range(1000):
+                counter.inc()
+                hist.observe(float(i))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("hits").value == 8000
+        assert registry.histogram("obs").count == 8000
+
+    def test_reset_zeroes_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").count == 0
+
+
+# ----------------------------------------------------------------------
+# The metrics fold (collector over registry)
+# ----------------------------------------------------------------------
+def _response(total=0.010, wait=0.002, shards=None):
+    extra = {"shards": shards} if shards else {}
+    result = type("R", (), {"ids": [1], "extra": extra})()
+    request = QueryRequest(scorer=LinearPreference([0.5, 0.5]), k=3, tau=50)
+    return QueryResponse(
+        request=request,
+        result=result,
+        wait_seconds=wait,
+        service_seconds=total - wait,
+        total_seconds=total,
+    )
+
+
+class TestMetricsCollector:
+    def test_counters_are_registry_series(self):
+        collector = MetricsCollector()
+        collector.record_submit()
+        collector.record_batch(pool_hit=True)
+        collector.record_rejection(RejectionReason.QUEUE_FULL)
+        collector.record_response(_response(shards=[0, 2]))
+        snap = collector.snapshot()
+        assert snap.submitted == 1 and snap.completed == 1
+        assert snap.rejected == {RejectionReason.QUEUE_FULL.value: 1}
+        assert snap.fanout == {2: 1}
+        assert snap.shard_queries == {0: 1, 2: 1}
+        flat = collector.registry.as_dict()
+        assert flat["service.requests.submitted"] == 1
+        assert flat["service.fanout{width=2}"] == 1
+
+    def test_reset_clears_samples_and_counters(self):
+        """The satellite fix: reset() drops warmup samples, not just the clock."""
+        collector = MetricsCollector()
+        for _ in range(5):
+            collector.record_submit()
+            collector.record_response(_response(total=0.5))
+        collector.reset()
+        snap = collector.snapshot()
+        assert snap.submitted == 0 and snap.completed == 0
+        assert snap.latency_p95 == 0.0  # warmup latencies are gone
+        collector.record_submit()
+        collector.record_response(_response(total=0.001))
+        assert collector.snapshot().latency_p95 <= 0.001 + 1e-9
+
+    def test_reset_clock_keeps_samples(self):
+        collector = MetricsCollector()
+        collector.record_response(_response(total=0.5))
+        collector.reset_clock()
+        assert collector.snapshot().completed == 1  # documented clock-only reset
+
+    def test_snapshot_pulls_backend_sources(self):
+        collector = MetricsCollector()
+        collector.add_source(
+            lambda: {"shard_restarts": 2, "shard_revivals": 1, "other": 9}
+        )
+        snap = collector.snapshot()
+        assert snap.shard_restarts == 2
+        assert snap.shard_revivals == 1
+        assert snap.extra["other"] == 9
+        assert snap.as_dict()["shard_restarts"] == 2
+        assert "2 restarts (1 health-check revivals)" in snap.report()
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("wal.fsyncs").inc(3)
+        registry.gauge("ingest.segments").set(4)
+        registry.histogram("lat", window=8).observe(0.5)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_wal_fsyncs_total counter" in text
+        assert "repro_wal_fsyncs_total 3" in text
+        assert "repro_ingest_segments 4" in text
+        assert "repro_lat_count 1" in text
+        assert 'quantile="0.99"' in text
+
+    def test_json_log_lines_and_trace_hook(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream)
+        enable()
+        with trace_span("service.batch", batch_size=3):
+            pass
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        events = [line["event"] for line in lines]
+        assert "trace.complete" in events
+        complete = lines[events.index("trace.complete")]
+        assert complete["root"] == "service.batch"
+        assert complete["spans"] == 1
+
+    def test_waterfall_contains_offsets_and_attrs(self, small_ind):
+        engine = DurableTopKEngine(small_ind)
+        enable()
+        engine.query(DurableTopKQuery(k=3, tau=100), LinearPreference([0.5, 0.5]))
+        disable()
+        (trace,) = TRACES.slowest()
+        art = format_waterfall(trace)
+        assert "engine.query" in art and "index.topk" in art
+        assert "candidates_scanned=" in art
+        assert "layers:" in art
+
+
+# ----------------------------------------------------------------------
+# Disabled-mode guarantees
+# ----------------------------------------------------------------------
+class TestDisabledPath:
+    def test_lower_layers_never_emit_when_disabled(self, small_ind):
+        disable()
+        engine = DurableTopKEngine(small_ind)
+        engine.query(DurableTopKQuery(k=3, tau=100), LinearPreference([0.5, 0.5]))
+        assert len(TRACES) == 0
+
+    def test_global_registry_collects_without_tracing(self, small_ind):
+        """Always-on metrics are independent of the tracing flag."""
+        disable()
+        before = global_registry().counter("service.pool.evictions").value
+        from repro.service.pool import SessionPool
+
+        engine = DurableTopKEngine(small_ind)
+        pool = SessionPool(capacity=1)
+        for i, u in enumerate(([0.5, 0.5], [0.7, 0.3])):
+            scorer = LinearPreference(u)
+            session, _ = pool.checkout(i, lambda s=scorer: engine.session(s))
+            pool.checkin(i, session)
+        pool.close()
+        assert global_registry().counter("service.pool.evictions").value == before + 1
