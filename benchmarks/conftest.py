@@ -1,8 +1,12 @@
 """Shared fixtures for the figure/table benchmarks.
 
 Every benchmark writes its paper-style report to ``results/<name>.txt``
-(and prints it), so EXPERIMENTS.md can reference the exact series
-produced on this machine.
+(stamped with an environment fingerprint and printed), so EXPERIMENTS.md
+can reference the exact series produced on this machine. Benchmarks that
+carry structured :class:`~repro.experiments.resultstore.BenchMetric`
+telemetry pass it as ``save_report``'s third argument and additionally
+emit ``results/BENCH_<name>.json`` — the records ``repro perf-report``
+and ``repro perf-gate`` diff against ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
@@ -23,10 +27,25 @@ def results_dir() -> Path:
 
 @pytest.fixture(scope="session")
 def save_report(results_dir):
-    def _save(name: str, report: str) -> None:
+    from repro.experiments.resultstore import (
+        BenchRecord,
+        environment_fingerprint,
+        fingerprint_header,
+        save_bench_record,
+    )
+
+    def _save(name: str, report: str, metrics=None) -> None:
+        env = environment_fingerprint()
         path = results_dir / f"{name}.txt"
-        path.write_text(report + "\n")
+        path.write_text(fingerprint_header(env) + "\n" + report + "\n")
         print(f"\n{report}\n[saved to {path}]")
+        if metrics:
+            # Named after the artifact (fig8_nba2, table4_dbms_tau, ...)
+            # so per-workload records stay distinct in the baseline dir.
+            save_bench_record(
+                BenchRecord(name=name, metrics=list(metrics), environment=env),
+                results_dir,
+            )
 
     return _save
 

@@ -19,7 +19,7 @@ from repro.experiments.batch_bench import batch_speedup_bench
 
 def test_batch_speedup(save_report):
     result = batch_speedup_bench(verify=True)
-    save_report(result.name, result.report)
+    save_report(result.name, result.report, result.metrics)
 
     # Correctness half: every batch byte-identical to its serial loop,
     # and the service round fully verified against a reference engine.

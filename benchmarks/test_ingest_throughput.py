@@ -21,7 +21,7 @@ from repro.experiments.ingest_bench import ingest_throughput_bench
 
 def test_ingest_throughput(save_report):
     result = ingest_throughput_bench(verify_sample=100)
-    save_report(result.name, result.report)
+    save_report(result.name, result.report, result.metrics)
 
     data = result.data
     assert data["rejected"] == 0

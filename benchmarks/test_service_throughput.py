@@ -21,7 +21,7 @@ from repro.experiments.service_bench import service_throughput_bench
 
 def test_service_throughput(save_report):
     result = service_throughput_bench()
-    save_report(result.name, result.report)
+    save_report(result.name, result.report, result.metrics)
 
     assert result.data["incorrect"] == 0
     assert result.data["rejected"] == 0

@@ -24,7 +24,7 @@ from repro.experiments.shard_bench import shard_throughput_bench
 def test_shard_throughput(save_report):
     cores = os.cpu_count() or 1
     result = shard_throughput_bench(shard_counts=(1, 2, 4), verify=True)
-    save_report(result.name, result.report)
+    save_report(result.name, result.report, result.metrics)
 
     assert result.data["incorrect"] == 0
     assert result.data["rejected"] == 0

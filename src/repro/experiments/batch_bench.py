@@ -31,6 +31,7 @@ from typing import Sequence
 from repro.core.engine import DurableTopKEngine
 from repro.data import independent_uniform
 from repro.experiments.report import format_table
+from repro.experiments.resultstore import BenchMetric
 from repro.service import (
     DurableTopKService,
     EngineBackend,
@@ -55,11 +56,16 @@ SMOKE_DEFAULTS = {
 
 @dataclass
 class BatchBenchResult:
-    """Report text plus raw numbers (mirrors ``ServiceBenchResult``)."""
+    """Report text plus raw numbers (mirrors ``ServiceBenchResult``).
+
+    ``metrics`` is the structured telemetry persisted as
+    ``BENCH_<name>.json`` for ``repro perf-report`` / ``perf-gate``.
+    """
 
     name: str
     report: str
     data: dict = field(default_factory=dict)
+    metrics: list = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.report
@@ -253,4 +259,33 @@ def batch_speedup_bench(
             "throughput_rps": round(snapshot.throughput, 1),
             "cores": cores,
         },
+        metrics=[
+            # CPU-time ratio on one warm session: the cleanest
+            # machine-independent number this bench produces.
+            BenchMetric(
+                "peak_speedup",
+                round(per_size[peak]["speedup"], 3),
+                "x",
+                "higher",
+                0.25,
+                portable=True,
+            ),
+            BenchMetric(
+                "throughput_rps",
+                round(snapshot.throughput, 1),
+                "req/s",
+                "higher",
+                0.25,
+            ),
+            BenchMetric(
+                "mean_batch_size",
+                round(snapshot.mean_batch_size, 3),
+                "",
+                "higher",
+                0.30,
+                portable=True,
+            ),
+            BenchMetric("mismatches", mismatches, "", "lower", 0.0, portable=True),
+            BenchMetric("incorrect", incorrect, "", "lower", 0.0, portable=True),
+        ],
     )

@@ -15,6 +15,9 @@ Usage::
     python -m repro batch-bench --smoke
     python -m repro obs-bench --out results/
     python -m repro obs-bench --smoke
+    python -m repro perf-report --baseline benchmarks/baselines --current results
+    python -m repro perf-gate --baseline benchmarks/baselines --current results
+    python -m repro top --once
     python -m repro trace --backend sharded --shards 2 --top 3
     python -m repro stream --workload nba2 --k 3 --tau 500 --lookahead
 
@@ -30,7 +33,14 @@ batches and reports the per-query CPU speedup curve; ``obs-bench``
 measures the tracing overhead in both modes and checks traced answers
 stay byte-identical. For all five, ``--smoke`` runs small with serial
 verification and exits non-zero on any rejected or incorrect response —
-the CI gates. ``trace`` drives a traced workload and prints the slowest
+the CI gates. Every saved report is stamped with an environment
+fingerprint and pairs with a schema'd ``BENCH_<name>.json`` telemetry
+file; ``perf-report`` diffs the current telemetry against an archived
+baseline (``--promote`` refreshes the baseline), ``perf-gate`` is the
+same diff with a non-zero exit on any regression beyond its noise band
+— the CI perf smoke. ``top`` repaints a live terminal dashboard over
+the observability stack (``--once`` renders a single plain frame for
+non-tty use). ``trace`` drives a traced workload and prints the slowest
 requests as per-layer waterfalls (``--backend sharded`` stitches
 coordinator and worker-process spans into one tree); ``--log-json``
 (global) switches diagnostics to structured JSON log lines. ``stream`` replays a
@@ -313,6 +323,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for obs_overhead.txt (default: results/)",
     )
 
+    for name, blurb in [
+        (
+            "perf-report",
+            "diff current BENCH_*.json telemetry against an archived baseline",
+        ),
+        (
+            "perf-gate",
+            "same diff, but exit 1 on any regression beyond its noise band (CI)",
+        ),
+    ]:
+        perf = sub.add_parser(name, help=blurb)
+        perf.add_argument(
+            "--baseline",
+            type=Path,
+            default=Path("benchmarks/baselines"),
+            help="directory of archived BENCH_*.json records",
+        )
+        perf.add_argument(
+            "--current",
+            type=Path,
+            default=Path("results"),
+            help="directory of freshly produced BENCH_*.json records",
+        )
+        if name == "perf-report":
+            perf.add_argument(
+                "--promote",
+                action="store_true",
+                help="after reporting, archive the current records as the new baseline",
+            )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over the observability stack (demo workload)",
+    )
+    top.add_argument(
+        "--duration", type=float, default=30.0, help="seconds to run (live mode)"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between repaints"
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single plain frame and exit (no ANSI; for non-tty use)",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="drive a traced workload and print the slowest traces as waterfalls",
@@ -361,6 +417,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _save_result(result, out: Path) -> None:
+    """Persist one experiment result: stamped ``.txt`` plus ``BENCH_*.json``.
+
+    The text report gets the environment-fingerprint header (so archived
+    artifacts self-describe the box they ran on); results that carry
+    structured ``metrics`` also emit a schema'd ``BENCH_<name>.json``
+    record and append to the ``BENCH_HISTORY.jsonl`` trajectory — the
+    inputs to ``perf-report`` / ``perf-gate``.
+    """
+    from repro.experiments.resultstore import (
+        BenchRecord,
+        environment_fingerprint,
+        fingerprint_header,
+        save_bench_record,
+    )
+
+    out.mkdir(parents=True, exist_ok=True)
+    env = environment_fingerprint()
+    (out / f"{result.name}.txt").write_text(
+        fingerprint_header(env) + "\n" + result.report + "\n"
+    )
+    metrics = getattr(result, "metrics", None)
+    if metrics:
+        save_bench_record(
+            BenchRecord(name=result.name, metrics=list(metrics), environment=env), out
+        )
+
+
 def _finish_bench(label, result, elapsed, out, smoke, failures, ok_message) -> int:
     """Shared tail of the bench subcommands: print, save, smoke-gate.
 
@@ -370,8 +454,7 @@ def _finish_bench(label, result, elapsed, out, smoke, failures, ok_message) -> i
     print(result.report)
     print(f"[{label} finished in {elapsed:.1f}s]")
     if out is not None:
-        out.mkdir(parents=True, exist_ok=True)
-        (out / f"{result.name}.txt").write_text(result.report + "\n")
+        _save_result(result, out)
     if smoke:
         if failures:
             print("SMOKE FAILURE: " + "; ".join(failures))
@@ -552,6 +635,7 @@ def _batch_bench(args) -> int:
 def _obs_bench(args) -> int:
     from repro.experiments.obs_bench import (
         DISABLED_OVERHEAD_BOUND,
+        SLO_OVERHEAD_BOUND,
         SMOKE_DEFAULTS,
         obs_overhead_bench,
     )
@@ -578,6 +662,11 @@ def _obs_bench(args) -> int:
                 f"disabled-path overhead bound {result.data['disabled_overhead']:.3%} "
                 f"exceeds {DISABLED_OVERHEAD_BOUND:.0%}"
             )
+        if result.data["slo_overhead"] > SLO_OVERHEAD_BOUND:
+            failures.append(
+                f"SLO-monitoring overhead {result.data['slo_overhead']:.3%} "
+                f"exceeds {SLO_OVERHEAD_BOUND:.0%} of per-request wall"
+            )
         if result.data["identical"] != result.data["requests"]:
             failures.append(
                 f"byte-identity {result.data['identical']}/{result.data['requests']}"
@@ -589,8 +678,40 @@ def _obs_bench(args) -> int:
         args.out,
         args.smoke,
         failures,
-        "smoke ok: disabled path within bound, traced answers byte-identical",
+        "smoke ok: disabled path and SLO accounting within bounds, "
+        "traced answers byte-identical",
     )
+
+
+def _perf(args, gate_mode: bool) -> int:
+    from repro.experiments.perf import compare_dirs, format_report, gate, promote
+
+    deltas, missing_current, missing_baseline = compare_dirs(args.baseline, args.current)
+    print(format_report(deltas, missing_current, missing_baseline))
+    verdict = gate(deltas)
+    if gate_mode:
+        if not deltas:
+            # A gate with nothing to compare is a misconfiguration, not a pass.
+            print(
+                "perf-gate: no overlapping BENCH records between "
+                f"{args.baseline} and {args.current}"
+            )
+            return 1
+        return verdict
+    if getattr(args, "promote", False):
+        promoted = promote(args.current, args.baseline)
+        print(
+            f"promoted {len(promoted)} record(s) to {args.baseline}: "
+            + ", ".join(promoted)
+        )
+    return 0
+
+
+def _top(args) -> int:
+    from repro.experiments.top import run_top
+
+    run_top(duration=args.duration, interval=args.interval, once=args.once)
+    return 0
 
 
 def _trace(args) -> int:
@@ -703,6 +824,12 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_bench(args)
     if args.command == "obs-bench":
         return _obs_bench(args)
+    if args.command == "perf-report":
+        return _perf(args, gate_mode=False)
+    if args.command == "perf-gate":
+        return _perf(args, gate_mode=True)
+    if args.command == "top":
+        return _top(args)
     if args.command == "trace":
         return _trace(args)
     if args.command == "stream":
@@ -717,8 +844,7 @@ def main(argv: list[str] | None = None) -> int:
         print(result.report)
         print(f"[{name} finished in {elapsed:.1f}s]\n")
         if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{result.name}.txt").write_text(result.report + "\n")
+            _save_result(result, args.out)
     return 0
 
 

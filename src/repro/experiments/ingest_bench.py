@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.reference import brute_force_durable_topk
 from repro.experiments.report import format_table
+from repro.experiments.resultstore import BenchMetric
 from repro.ingest.live import LiveDataset
 from repro.service import (
     DurableTopKService,
@@ -68,11 +69,16 @@ SMOKE_DEFAULTS = {
 
 @dataclass
 class IngestBenchResult:
-    """Report text plus raw numbers (mirrors ``ServiceBenchResult``)."""
+    """Report text plus raw numbers (mirrors ``ServiceBenchResult``).
+
+    ``metrics`` is the structured telemetry persisted as
+    ``BENCH_<name>.json`` for ``repro perf-report`` / ``perf-gate``.
+    """
 
     name: str
     report: str
     data: dict = field(default_factory=dict)
+    metrics: list = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.report
@@ -300,4 +306,38 @@ def ingest_throughput_bench(
             "workers": workers,
             "writers": writers,
         },
+        metrics=[
+            BenchMetric(
+                "appends_per_sec", round(appends_per_sec, 1), "rows/s", "higher", 0.25
+            ),
+            # Same-machine ratio: how much ingestion inflates query p95.
+            BenchMetric(
+                "p95_ratio",
+                round(live_lat["p95"] / max(static_lat["p95"], 1e-9), 3),
+                "x",
+                "lower",
+                0.35,
+                portable=True,
+            ),
+            BenchMetric(
+                "live_p95_ms", round(live_lat["p95"], 3), "ms", "lower", 0.35
+            ),
+            BenchMetric(
+                "staleness_p95_rows",
+                round(staleness_p95_rows, 1),
+                "rows",
+                "lower",
+                0.50,
+                abs_noise=200,
+            ),
+            BenchMetric(
+                "rejected", rejected, "", "lower", 0.0, abs_noise=5, portable=True
+            ),
+        ]
+        # Only a verified run can honestly claim an incorrect-count of 0.
+        + (
+            [BenchMetric("incorrect", incorrect, "", "lower", 0.0, portable=True)]
+            if incorrect is not None
+            else []
+        ),
     )

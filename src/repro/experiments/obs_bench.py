@@ -41,9 +41,12 @@ from repro.obs import (
     spans_started,
     trace_span,
 )
+from repro.obs.slo import SLOMonitor
+from repro.experiments.resultstore import BenchMetric
 from repro.service import (
     DurableTopKService,
     EngineBackend,
+    MetricsCollector,
     MetricsSnapshot,
     WorkloadGenerator,
     WorkloadSpec,
@@ -56,6 +59,7 @@ __all__ = [
     "capture_traces",
     "noop_span_cost_ns",
     "obs_overhead_bench",
+    "slo_record_cost_ns",
 ]
 
 #: Scaled-down parameters for the CI smoke run (seconds, not minutes).
@@ -71,14 +75,23 @@ SMOKE_DEFAULTS = {
 #: The smoke gate: worst-case disabled-path overhead must stay under this.
 DISABLED_OVERHEAD_BOUND = 0.03
 
+#: The smoke gate for SLO burn-rate accounting: the per-request cost of
+#: feeding the monitor must stay under 1% of per-request wall time.
+SLO_OVERHEAD_BOUND = 0.01
+
 
 @dataclass
 class ObsBenchResult:
-    """Report text plus raw numbers (mirrors ``ServiceBenchResult``)."""
+    """Report text plus raw numbers (mirrors ``ServiceBenchResult``).
+
+    ``metrics`` is the structured telemetry persisted as
+    ``BENCH_<name>.json`` for ``repro perf-report`` / ``perf-gate``.
+    """
 
     name: str
     report: str
     data: dict = field(default_factory=dict)
+    metrics: list = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.report
@@ -93,6 +106,24 @@ def noop_span_cost_ns(iterations: int = 200_000) -> float:
     for _ in range(iterations):
         with trace_span("obs.bench.noop"):
             pass
+    return (time.perf_counter() - start) / iterations * 1e9
+
+
+def slo_record_cost_ns(iterations: int = 100_000) -> float:
+    """Nanoseconds of SLO accounting per *answered* request.
+
+    One answered response feeds the monitor exactly twice — a latency
+    observation and a good-outcome rejection event (staleness only when
+    the result carries it) — so this times that pair against a live
+    monitor with the stock SLO set. The deque timestamps all land inside
+    one slow window, so nothing prunes: the measured cost is the
+    steady-state append path, not amortised cleanup luck.
+    """
+    monitor = SLOMonitor()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        monitor.observe("latency", 0.001)
+        monitor.record("rejections", bad=False)
     return (time.perf_counter() - start) / iterations * 1e9
 
 
@@ -165,12 +196,16 @@ def obs_overhead_bench(
     off_rounds: list[_Round] = []
     on_rounds: list[_Round] = []
     TRACES.clear()
+    # Every drive runs with SLO burn-rate monitoring live, so the
+    # measured throughput already *includes* its cost on both sides; the
+    # gated bound below is the micro-measured worst case on top.
     with DurableTopKService(
         EngineBackend(DurableTopKEngine(dataset)),
         workers=workers,
         max_queue=max(4096, 4 * len(stream)),
         max_batch=32,
         pool_capacity=n_preferences,
+        metrics=MetricsCollector(slos=SLOMonitor()),
     ) as service:
         _drive(service, stream, clients, traced=False)  # warmup
         for _ in range(max(1, rounds)):
@@ -191,6 +226,12 @@ def obs_overhead_bench(
     spans_per_request = max(r.spans for r in on_rounds) / requests
     per_request_wall = off_best.wall_seconds / requests
     disabled_overhead = (noop_ns * 1e-9 * spans_per_request) / per_request_wall
+
+    # SLO burn-rate accounting, same worst-case treatment: the measured
+    # per-request monitor cost charged entirely to the critical path.
+    slo_ns = slo_record_cost_ns()
+    slo_overhead = (slo_ns * 1e-9) / per_request_wall
+    slo_status = off_best.snapshot.slo
 
     # Tracing must observe, never participate: ids and per-query stats
     # from the enabled round must match the disabled round byte for byte.
@@ -225,6 +266,13 @@ def obs_overhead_bench(
         f"{spans_per_request:.1f} span call sites/request -> worst-case "
         f"overhead {disabled_overhead:.3%} of per-request wall "
         f"(gate: <{DISABLED_OVERHEAD_BOUND:.0%})",
+        f"slo monitoring: {slo_ns:.0f} ns/request accounting -> worst-case "
+        f"overhead {slo_overhead:.3%} of per-request wall "
+        f"(gate: <{SLO_OVERHEAD_BOUND:.0%}); burn fast/slow: "
+        + "  ".join(
+            f"{name}={status['fast_burn_rate']:.2f}/{status['slow_burn_rate']:.2f}"
+            for name, status in sorted(slo_status.items())
+        ),
         f"byte-identity: {identical}/{requests} responses identical "
         f"(ids + stats) across enabled/disabled",
         "",
@@ -242,6 +290,10 @@ def obs_overhead_bench(
             "disabled_overhead_bound": DISABLED_OVERHEAD_BOUND,
             "noop_ns": round(noop_ns, 1),
             "spans_per_request": round(spans_per_request, 2),
+            "slo_ns": round(slo_ns, 1),
+            "slo_overhead": round(slo_overhead, 6),
+            "slo_overhead_bound": SLO_OVERHEAD_BOUND,
+            "slo": slo_status,
             "identical": identical,
             "incorrect": incorrect,
             "rejected": rejected,
@@ -249,6 +301,44 @@ def obs_overhead_bench(
             "off": off_best.snapshot.as_dict(),
             "on": on_best.snapshot.as_dict(),
         },
+        metrics=[
+            BenchMetric("off_rps", round(off_best.rps, 1), "req/s", "higher", 0.25),
+            # Overhead fractions hover near zero and can dip negative in
+            # noise; the additive floor is the honest band.
+            BenchMetric(
+                "enabled_overhead",
+                round(enabled_overhead, 4),
+                "frac",
+                "lower",
+                0.0,
+                abs_noise=0.10,
+            ),
+            BenchMetric(
+                "disabled_overhead",
+                round(disabled_overhead, 6),
+                "frac",
+                "lower",
+                0.0,
+                abs_noise=0.01,
+            ),
+            BenchMetric(
+                "slo_overhead",
+                round(slo_overhead, 6),
+                "frac",
+                "lower",
+                0.0,
+                abs_noise=0.005,
+            ),
+            BenchMetric(
+                "spans_per_request",
+                round(spans_per_request, 2),
+                "",
+                "lower",
+                0.25,
+                portable=True,
+            ),
+            BenchMetric("incorrect", incorrect, "", "lower", 0.0, portable=True),
+        ],
     )
 
 

@@ -1,0 +1,238 @@
+"""Diffing bench telemetry against an archived baseline (``repro perf-report``).
+
+Reads two directories of ``BENCH_*.json`` records — an archived
+*baseline* (checked in under ``benchmarks/baselines/`` for smoke scale,
+or any previously saved ``results/`` tree) and the *current* run — and
+compares them metric by metric. A metric regresses when it moves in its
+worse direction by more than its noise band:
+
+    worsening > max(noise * |baseline|, abs_noise)
+
+Two guards keep the gate honest rather than merely strict:
+
+* **Noise bands are per metric.** A 3% swing in a wall-clock throughput
+  number on a busy CI runner is weather; a 3% swing in a deterministic
+  page count is a real algorithmic change. Each
+  :class:`~repro.experiments.resultstore.BenchMetric` carries its own
+  band, and ``abs_noise`` gives near-zero metrics (overhead fractions
+  that legitimately dip negative) an additive floor.
+* **Machine-bound metrics only gate on comparable machines.** A
+  baseline recorded on a 1-core box says nothing about wall time on an
+  8-core runner. Metrics marked ``portable`` (ratios, counts) gate
+  everywhere; the rest gate only when the environment fingerprints
+  agree on cpu count, python minor version and platform, and otherwise
+  downgrade to informational rows.
+
+``repro perf-gate`` exits nonzero iff any gated metric regresses — the
+CI hook. ``repro perf-report --promote`` copies the current records
+over the baseline, which is the *only* sanctioned way to refresh it
+(see EXPERIMENTS.md for the policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.resultstore import (
+    BenchMetric,
+    BenchRecord,
+    load_bench_dir,
+    save_bench_record,
+)
+
+__all__ = [
+    "MetricDelta",
+    "comparable_environments",
+    "compare_records",
+    "compare_dirs",
+    "format_report",
+    "gate",
+    "promote",
+]
+
+#: Environment-fingerprint keys that must agree for machine-bound
+#: (non-portable) metrics to be gated rather than informational.
+COMPARABILITY_KEYS = ("cpu_count", "python", "platform", "machine")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between baseline and current run."""
+
+    bench: str
+    metric: BenchMetric  # the current metric (carries unit/better/noise)
+    baseline: float
+    current: float
+    gated: bool  # False -> informational only (incomparable machines)
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def ratio(self) -> float:
+        """Relative change, signed so positive always means *worse*."""
+        if self.baseline == 0:
+            return 0.0
+        worsening = self.delta if self.metric.better == "lower" else -self.delta
+        return worsening / abs(self.baseline)
+
+    @property
+    def worsening(self) -> float:
+        """Absolute movement in the metric's worse direction (<= 0 is fine)."""
+        return self.delta if self.metric.better == "lower" else -self.delta
+
+    @property
+    def band(self) -> float:
+        """The indifference band: movement inside it is noise."""
+        return max(self.metric.noise * abs(self.baseline), self.metric.abs_noise)
+
+    @property
+    def regressed(self) -> bool:
+        return self.gated and self.worsening > self.band
+
+    @property
+    def improved(self) -> bool:
+        return -self.worsening > self.band
+
+
+def comparable_environments(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    """Whether machine-bound numbers from *a* and *b* may be compared.
+
+    Python is compared at minor-version granularity: 3.11.7 vs 3.11.9
+    measures the same interpreter for our purposes, 3.11 vs 3.12 does
+    not.
+    """
+
+    def minor(version: str) -> str:
+        return ".".join(str(version).split(".")[:2])
+
+    for key in COMPARABILITY_KEYS:
+        va, vb = a.get(key), b.get(key)
+        if key == "python":
+            va, vb = minor(va or ""), minor(vb or "")
+        if va != vb:
+            return False
+    return True
+
+
+def compare_records(base: BenchRecord, curr: BenchRecord) -> list[MetricDelta]:
+    """Per-metric deltas for one bench (metrics present in both runs)."""
+    machines_match = comparable_environments(base.environment, curr.environment)
+    deltas: list[MetricDelta] = []
+    for metric in curr.metrics:
+        baseline = base.metric(metric.name)
+        if baseline is None:
+            continue
+        deltas.append(
+            MetricDelta(
+                bench=curr.name,
+                metric=metric,
+                baseline=baseline.value,
+                current=metric.value,
+                gated=metric.portable or machines_match,
+            )
+        )
+    return deltas
+
+
+def compare_dirs(
+    baseline_dir: str | Path, current_dir: str | Path
+) -> tuple[list[MetricDelta], list[str], list[str]]:
+    """Diff every bench present in both dirs.
+
+    Returns ``(deltas, missing_from_current, missing_from_baseline)``.
+    A bench absent from the *current* run is reported, not failed — CI
+    smoke jobs run a subset of the full bench battery; a bench absent
+    from the *baseline* is new and gates from the next promote onward.
+    """
+    base = load_bench_dir(baseline_dir)
+    curr = load_bench_dir(current_dir)
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(base) & set(curr)):
+        deltas.extend(compare_records(base[name], curr[name]))
+    missing_current = sorted(set(base) - set(curr))
+    missing_baseline = sorted(set(curr) - set(base))
+    return deltas, missing_current, missing_baseline
+
+
+def _fmt_value(value: float, unit: str) -> str:
+    text = f"{value:.4g}"
+    return f"{text} {unit}".rstrip()
+
+
+def format_report(
+    deltas: list[MetricDelta],
+    missing_current: list[str],
+    missing_baseline: list[str],
+) -> str:
+    """Human-readable diff table, regressions first."""
+    lines = ["perf-report: current vs baseline", ""]
+    if not deltas:
+        lines.append("no overlapping benches/metrics to compare")
+
+    def sort_key(d: MetricDelta) -> tuple:
+        return (not d.regressed, not d.improved, d.bench, d.metric.name)
+
+    for d in sorted(deltas, key=sort_key):
+        if d.regressed:
+            tag = "REGRESSED"
+        elif d.improved:
+            tag = "improved"
+        elif not d.gated:
+            tag = "info (machines differ)"
+        else:
+            tag = "ok"
+        lines.append(
+            f"  [{tag:>21}] {d.bench}.{d.metric.name}: "
+            f"{_fmt_value(d.baseline, d.metric.unit)} -> "
+            f"{_fmt_value(d.current, d.metric.unit)} "
+            f"({d.ratio:+.1%} vs band {d.band / abs(d.baseline):.1%})"
+            if d.baseline
+            else f"  [{tag:>21}] {d.bench}.{d.metric.name}: "
+            f"{_fmt_value(d.baseline, d.metric.unit)} -> "
+            f"{_fmt_value(d.current, d.metric.unit)} "
+            f"(abs band {d.band:.4g})"
+        )
+    if missing_current:
+        lines.append("")
+        lines.append(
+            "benches in baseline but not in this run (not gated): "
+            + ", ".join(missing_current)
+        )
+    if missing_baseline:
+        lines.append("")
+        lines.append(
+            "new benches with no baseline yet (gate after promote): "
+            + ", ".join(missing_baseline)
+        )
+    regressed = [d for d in deltas if d.regressed]
+    lines.append("")
+    if regressed:
+        lines.append(f"{len(regressed)} regression(s) beyond noise bands")
+    else:
+        gated = sum(1 for d in deltas if d.gated)
+        lines.append(f"no regressions ({gated} gated, {len(deltas) - gated} informational)")
+    return "\n".join(lines)
+
+
+def gate(deltas: list[MetricDelta]) -> int:
+    """CI verdict: 1 if any gated metric regressed, else 0."""
+    return 1 if any(d.regressed for d in deltas) else 0
+
+
+def promote(current_dir: str | Path, baseline_dir: str | Path) -> list[str]:
+    """Copy current records over the baseline (re-validating each one).
+
+    Promotion re-serialises through :class:`BenchRecord` rather than
+    copying bytes, so a hand-edited or truncated record can never become
+    the baseline. History is not carried over — the baseline is a state,
+    not a trajectory.
+    """
+    promoted: list[str] = []
+    for name, record in sorted(load_bench_dir(current_dir).items()):
+        save_bench_record(record, baseline_dir, history=False)
+        promoted.append(name)
+    return promoted

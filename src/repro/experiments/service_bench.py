@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.core.engine import DurableTopKEngine
 from repro.data import independent_uniform
 from repro.experiments.report import format_table
+from repro.experiments.resultstore import BenchMetric
 from repro.service import (
     DurableTopKService,
     EngineBackend,
@@ -59,11 +60,18 @@ SMOKE_DEFAULTS = {
 
 @dataclass
 class ServiceBenchResult:
-    """Report text plus raw numbers (mirrors ``FigureResult``)."""
+    """Report text plus raw numbers (mirrors ``FigureResult``).
+
+    ``metrics`` is the bench's structured telemetry: the
+    :class:`~repro.experiments.resultstore.BenchMetric` list the CLI and
+    benchmark suite persist as ``BENCH_<name>.json`` for
+    ``repro perf-report`` / ``perf-gate`` to diff.
+    """
 
     name: str
     report: str
     data: dict = field(default_factory=dict)
+    metrics: list = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.report
@@ -231,4 +239,20 @@ def service_throughput_bench(
             "workers": workers,
             "requests": requests,
         },
+        metrics=[
+            BenchMetric("pooled_rps", round(pooled_best.rps, 1), "req/s", "higher", 0.25),
+            BenchMetric("naive_rps", round(naive_best.rps, 1), "req/s", "higher", 0.25),
+            # The speedup is a same-machine ratio, so it survives a
+            # machine change and gates everywhere.
+            BenchMetric("speedup", round(speedup, 3), "x", "higher", 0.30, portable=True),
+            BenchMetric(
+                "pooled_p95_ms",
+                round(pooled_best.snapshot.latency_p95 * 1e3, 3),
+                "ms",
+                "lower",
+                0.35,
+            ),
+            BenchMetric("incorrect", incorrect, "", "lower", 0.0, portable=True),
+            BenchMetric("rejected", rejected, "", "lower", 0.0, abs_noise=5, portable=True),
+        ],
     )

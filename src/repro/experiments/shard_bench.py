@@ -27,6 +27,7 @@ from typing import Sequence
 from repro.core.engine import DurableTopKEngine
 from repro.data import independent_uniform
 from repro.experiments.report import format_table
+from repro.experiments.resultstore import BenchMetric
 from repro.service import (
     DurableTopKService,
     MetricsSnapshot,
@@ -55,11 +56,16 @@ SMOKE_DEFAULTS = {
 
 @dataclass
 class ShardBenchResult:
-    """Report text plus raw numbers (mirrors ``ServiceBenchResult``)."""
+    """Report text plus raw numbers (mirrors ``ServiceBenchResult``).
+
+    ``metrics`` is the structured telemetry persisted as
+    ``BENCH_<name>.json`` for ``repro perf-report`` / ``perf-gate``.
+    """
 
     name: str
     report: str
     data: dict = field(default_factory=dict)
+    metrics: list = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.report
@@ -263,4 +269,33 @@ def shard_throughput_bench(
             "clients": clients,
             "cores": cores,
         },
+        metrics=[
+            BenchMetric(
+                "peak_rps", round(bests[peak].rps, 1), "req/s", "higher", 0.25
+            ),
+            # Scaling shape is a same-run ratio; it gates across machines
+            # with matching core counts (cpu_count is part of the
+            # fingerprint, so a 1-core flat curve never gates an 8-core
+            # run).
+            BenchMetric(
+                "peak_speedup",
+                round(bests[peak].rps / baseline_rps, 3),
+                "x",
+                "higher",
+                0.30,
+            ),
+            BenchMetric("incorrect", incorrect, "", "lower", 0.0, portable=True),
+            BenchMetric(
+                "rejected", rejected, "", "lower", 0.0, abs_noise=5, portable=True
+            ),
+            BenchMetric(
+                "restarts",
+                sum(restarts.values()),
+                "",
+                "lower",
+                0.0,
+                abs_noise=2,
+                portable=True,
+            ),
+        ],
     )

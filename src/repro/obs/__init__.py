@@ -15,6 +15,11 @@ Two halves:
 Exporters live in :mod:`repro.obs.export`: Prometheus text exposition,
 JSON log lines (``repro --log-json``), and trace waterfalls
 (``repro trace``).
+
+:mod:`repro.obs.slo` turns the raw series into decisions: declarative
+SLOs evaluated as multi-window burn rates, with gauges published back
+into the registry and a degradation hook the service consults at
+admission.
 """
 
 from repro.obs.registry import (
@@ -48,6 +53,7 @@ from repro.obs.export import (
     log_event,
     render_prometheus,
 )
+from repro.obs.slo import SLO, SLOMonitor, default_slos
 
 __all__ = [
     "Counter",
@@ -75,4 +81,7 @@ __all__ = [
     "render_prometheus",
     "format_waterfall",
     "log_event",
+    "SLO",
+    "SLOMonitor",
+    "default_slos",
 ]

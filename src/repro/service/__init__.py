@@ -23,7 +23,11 @@ from repro.service.request import (
     RejectionReason,
     preference_key,
 )
-from repro.service.service import DurableTopKService, LockedEngineService
+from repro.service.service import (
+    DurableTopKService,
+    LockedEngineService,
+    shed_low_priority,
+)
 from repro.service.workload import (
     WorkloadGenerator,
     WorkloadSpec,
@@ -56,5 +60,6 @@ __all__ = [
     "run_closed_loop",
     "run_open_loop",
     "run_pipelined",
+    "shed_low_priority",
     "zipfian_probabilities",
 ]

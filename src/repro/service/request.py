@@ -57,6 +57,10 @@ class RejectionReason(enum.Enum):
     TIMEOUT = "timeout"
     #: The service was shut down before the request was served.
     SHUTDOWN = "shutdown"
+    #: Below-normal-priority work dropped while an SLO's fast burn-rate
+    #: window was on fire (degradation, not overload — see
+    #: :mod:`repro.obs.slo`).
+    SHED = "shed"
 
 
 class QueryRejected(RuntimeError):
@@ -75,6 +79,11 @@ class QueryRequest:
     (seconds); a request picked up past its deadline is rejected with
     :attr:`RejectionReason.TIMEOUT` instead of executed. ``None`` waits
     indefinitely.
+
+    ``priority`` only matters under duress: requests below 0 are the
+    first to be shed when SLO burn-rate monitoring reports a fast burn
+    (see :class:`repro.obs.slo.SLOMonitor`). It never reorders the
+    queue — admission stays FIFO per preference.
     """
 
     scorer: Any
@@ -84,6 +93,7 @@ class QueryRequest:
     direction: Direction = Direction.PAST
     algorithm: str = "s-hop"
     timeout: float | None = None
+    priority: int = 0
 
     @property
     def key(self) -> Hashable:

@@ -47,7 +47,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.batch import clone_result
-from repro.obs import add_span, trace_span
+from repro.obs import add_span, current_context, log_event, trace_span
 from repro.service.metrics import MetricsCollector
 from repro.service.pool import SessionPool
 from repro.service.request import (
@@ -57,7 +57,21 @@ from repro.service.request import (
     RejectionReason,
 )
 
-__all__ = ["DurableTopKService", "LockedEngineService"]
+__all__ = ["DurableTopKService", "LockedEngineService", "shed_low_priority"]
+
+
+def shed_low_priority(request: QueryRequest, monitor) -> RejectionReason | None:
+    """Default degradation policy: drop below-normal work during fast burn.
+
+    Consults only the *fast* burn window — degradation must react within
+    seconds to be worth anything, and shedding a ``priority < 0`` request
+    is cheap and reversible, so it does not wait for the slow window's
+    confirmation the way paging would. Normal- and high-priority work is
+    never shed; it still competes for the queue as usual.
+    """
+    if request.priority < 0 and monitor.fast_burning():
+        return RejectionReason.SHED
+    return None
 
 
 @dataclass
@@ -93,6 +107,15 @@ class DurableTopKService:
         simultaneously convoys them (measured ~50x slowdown per build at
         8 workers on one core: the classic thundering-herd), so builds
         are single-flighted by default while warm batches keep flowing.
+    degradation:
+        Admission-time load-shedding policy, consulted only when the
+        collector carries an :class:`~repro.obs.slo.SLOMonitor`
+        (``metrics.slos``). Called as ``degradation(request, monitor)``;
+        a returned :class:`RejectionReason` rejects the request before
+        it takes a queue slot — the point is to shed *chosen* work
+        (lowest priority first) while the SLO fast window burns, instead
+        of letting the queue fill and QUEUE_FULL shed arbitrary work.
+        Defaults to :func:`shed_low_priority`; pass ``None`` to disable.
     """
 
     def __init__(
@@ -105,6 +128,7 @@ class DurableTopKService:
         default_timeout: float | None = None,
         metrics: MetricsCollector | None = None,
         max_concurrent_builds: int = 1,
+        degradation=shed_low_priority,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -120,6 +144,7 @@ class DurableTopKService:
         self.max_queue = max_queue
         self.max_batch = max_batch
         self.default_timeout = default_timeout
+        self.degradation = degradation
         self.pool = SessionPool(pool_capacity)
         self.metrics = metrics if metrics is not None else MetricsCollector()
         # Backends that own lifecycle counters (the sharded backend's
@@ -152,11 +177,18 @@ class DurableTopKService:
         """Enqueue a request; returns a future resolving to a response.
 
         Admission control happens here: a full queue (or a closed
-        service) resolves the future immediately with a typed rejection.
+        service) resolves the future immediately with a typed rejection,
+        and under SLO fast burn the degradation policy may shed the
+        request before it takes a queue slot.
         """
         self.metrics.record_submit()
         future: "Future[QueryResponse]" = Future()
         key = request.key
+        monitor = self.metrics.slos
+        if monitor is not None and self.degradation is not None:
+            reason = self.degradation(request, monitor)
+            if reason is not None:
+                return self._reject(request, future, reason)
         with self._lock:
             if self._closed:
                 return self._reject(request, future, RejectionReason.SHUTDOWN)
@@ -216,6 +248,18 @@ class DurableTopKService:
         reason: RejectionReason,
     ) -> "Future[QueryResponse]":
         self.metrics.record_rejection(reason)
+        # Joinable against traces: inside a span (timeouts resolved while
+        # the batch span is open) the line carries that trace id; at
+        # submit time no trace exists yet, which null states honestly.
+        context = current_context()
+        log_event(
+            "service.reject",
+            reason=reason.value,
+            trace_id=context[0] if context else None,
+            algorithm=request.algorithm,
+            k=request.k,
+            priority=request.priority,
+        )
         error = QueryRejected(reason, f"request rejected: {reason.value}")
         future.set_result(QueryResponse(request=request, error=error))
         return future
@@ -297,52 +341,67 @@ class DurableTopKService:
     ) -> None:
         """Serve one same-preference batch through ``backend.execute_batch``.
 
-        Timed-out requests are rejected up front; the survivors are
-        single-flighted (identical queries execute once, every waiter
-        gets a copy of the one answer) and handed to the backend as a
-        whole batch, so one index traversal serves all of them.
+        The batch trace span opens *before* timeout filtering, so a
+        request rejected for queue-wait timeout resolves inside the span
+        and its ``service.reject`` log line carries this batch's trace
+        id. Survivors are single-flighted (identical queries execute
+        once, every waiter gets a copy of the one answer) and handed to
+        the backend as a whole batch, so one index traversal serves all
+        of them.
         """
         batch_size = len(batch)
-        now = time.perf_counter()
-        live: list[tuple[_Pending, float]] = []
-        for item in batch:
-            wait = now - item.enqueued
-            timeout = (
-                item.request.timeout
-                if item.request.timeout is not None
-                else self.default_timeout
-            )
-            if timeout is not None and wait > timeout:
-                self.metrics.record_rejection(RejectionReason.TIMEOUT)
-                error = QueryRejected(
-                    RejectionReason.TIMEOUT,
-                    f"queued {wait * 1e3:.1f} ms > timeout {timeout * 1e3:.1f} ms",
-                )
-                item.future.set_result(
-                    QueryResponse(
-                        request=item.request,
-                        error=error,
-                        wait_seconds=wait,
-                        total_seconds=wait,
-                        batch_size=batch_size,
-                        pool_hit=pool_hit,
-                    )
-                )
-                continue
-            live.append((item, wait))
-        if not live:
-            return
-
         # The batch trace roots at the earliest enqueue, so trace
         # duration equals end-to-end latency (queue wait included) and
         # the slowest-N buffer keeps the worst-latency batches.
-        first_enqueued = min(item.enqueued for item, _ in live)
+        first_enqueued = min(item.enqueued for item in batch)
         with trace_span(
             "service.batch",
             _start=first_enqueued,
             batch_size=batch_size,
             pool_hit=pool_hit,
         ) as span:
+            now = time.perf_counter()
+            live: list[tuple[_Pending, float]] = []
+            for item in batch:
+                wait = now - item.enqueued
+                timeout = (
+                    item.request.timeout
+                    if item.request.timeout is not None
+                    else self.default_timeout
+                )
+                if timeout is not None and wait > timeout:
+                    self.metrics.record_rejection(RejectionReason.TIMEOUT)
+                    context = current_context()
+                    log_event(
+                        "service.reject",
+                        reason=RejectionReason.TIMEOUT.value,
+                        trace_id=context[0] if context else None,
+                        algorithm=item.request.algorithm,
+                        k=item.request.k,
+                        priority=item.request.priority,
+                        wait_ms=round(wait * 1e3, 3),
+                    )
+                    error = QueryRejected(
+                        RejectionReason.TIMEOUT,
+                        f"queued {wait * 1e3:.1f} ms > timeout {timeout * 1e3:.1f} ms",
+                    )
+                    item.future.set_result(
+                        QueryResponse(
+                            request=item.request,
+                            error=error,
+                            wait_seconds=wait,
+                            total_seconds=wait,
+                            batch_size=batch_size,
+                            pool_hit=pool_hit,
+                        )
+                    )
+                    continue
+                live.append((item, wait))
+            if not live:
+                span.set(timed_out=batch_size, leaders=0, coalesced=0)
+                return
+            if len(live) < batch_size:
+                span.set(timed_out=batch_size - len(live))
             add_span(
                 "service.queue_wait",
                 start=first_enqueued,

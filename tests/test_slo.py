@@ -1,0 +1,303 @@
+"""Tests for SLO burn-rate monitoring (`repro.obs.slo`) and load shedding.
+
+The burn-rate fixtures hand-place events on a fake timeline and assert
+the exact fast/slow rates (bad_fraction / budget per window), the
+multi-window burning verdict (fast alone reacts, both together page),
+the gauge export, and the service integration: below-normal-priority
+requests are shed with :attr:`RejectionReason.SHED` while the fast
+window burns, while normal-priority traffic keeps being served.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.engine import DurableTopKEngine
+from repro.data import independent_uniform
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.slo import SLO, SLOMonitor, default_slos
+from repro.scoring import LinearPreference
+from repro.service import (
+    DurableTopKService,
+    EngineBackend,
+    MetricsCollector,
+    QueryRequest,
+    QueryResponse,
+    RejectionReason,
+    shed_low_priority,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def latency_slo(**overrides) -> SLO:
+    """The hand-computed fixture SLO: 5% budget, 5 s/60 s windows."""
+    kwargs = dict(
+        name="latency",
+        objective=0.1,
+        unit="s",
+        budget=0.05,
+        fast_window=5.0,
+        slow_window=60.0,
+        fast_burn=14.0,
+        slow_burn=6.0,
+    )
+    kwargs.update(overrides)
+    return SLO(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+class TestSLODeclaration:
+    def test_budget_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", budget=0.0)
+        with pytest.raises(ValueError):
+            SLO(name="x", budget=1.5)
+
+    def test_windows_must_nest(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", fast_window=10.0, slow_window=5.0)
+        with pytest.raises(ValueError):
+            SLO(name="x", fast_window=0.0)
+
+    def test_default_slos_cover_the_serving_stack(self):
+        slos = {s.name: s for s in default_slos()}
+        assert set(slos) == {"latency", "rejections", "staleness"}
+        assert slos["latency"].objective == 0.25
+        assert slos["rejections"].budget == 0.01
+        assert slos["staleness"].objective == 2000.0
+
+
+# ----------------------------------------------------------------------
+# Burn-rate arithmetic (hand-computed fixtures)
+# ----------------------------------------------------------------------
+class TestBurnRates:
+    def test_hand_computed_two_window_rates(self):
+        """4 events in the fast window (1 bad), 10 overall (1 bad).
+
+        fast: 1/4 bad / 0.05 budget = 5.0; slow: 1/10 / 0.05 = 2.0.
+        """
+        clock = FakeClock()
+        monitor = SLOMonitor([latency_slo()], clock=clock)
+        for _ in range(6):
+            monitor.observe("latency", 0.01, t=1.0)  # good, slow window only
+        monitor.observe("latency", 0.5, t=6.0)  # bad, in both windows at t=10
+        for t in (7.0, 8.0, 9.0):
+            monitor.observe("latency", 0.01, t=t)
+        fast, slow = monitor.burn_rates("latency", t=10.0)
+        assert fast == pytest.approx(5.0)
+        assert slow == pytest.approx(2.0)
+
+    def test_observe_is_strictly_greater_than_objective(self):
+        monitor = SLOMonitor([latency_slo()], clock=FakeClock())
+        monitor.observe("latency", 0.1, t=1.0)  # == objective: good
+        monitor.observe("latency", 0.1000001, t=1.0)  # > objective: bad
+        fast, _ = monitor.burn_rates("latency", t=2.0)
+        assert fast == pytest.approx((1 / 2) / 0.05)
+
+    def test_empty_windows_burn_nothing(self):
+        monitor = SLOMonitor([latency_slo()], clock=FakeClock())
+        assert monitor.burn_rates("latency", t=100.0) == (0.0, 0.0)
+        assert not monitor.burning("latency")
+        assert not monitor.fast_burning()
+
+    def test_unknown_slo_names_are_ignored(self):
+        monitor = SLOMonitor([latency_slo()], clock=FakeClock())
+        monitor.observe("nope", 1.0)
+        monitor.record("nope", bad=True)
+        assert monitor.burn_rates("latency", t=1.0) == (0.0, 0.0)
+
+    def test_events_age_out_of_the_slow_window(self):
+        monitor = SLOMonitor([latency_slo()], clock=FakeClock())
+        monitor.observe("latency", 0.5, t=0.0)  # bad
+        # The next add prunes anything past the slow horizon.
+        monitor.observe("latency", 0.01, t=61.0)
+        status = monitor.status(t=61.0)["latency"]
+        assert status["events"] == 1
+        assert status["bad"] == 0
+
+    def test_fast_spike_alone_does_not_page(self):
+        """A 5 s spike trips the fast window but not the slow one.
+
+        fast: all 10 events bad -> 1.0/0.05 = 20 >= 14. slow: 10 bad of
+        110 -> 0.0909/0.05 = 1.82 < 6. So `fast_burning` (the shed
+        signal) fires while `burning` (the page) does not.
+        """
+        clock = FakeClock(60.0)
+        monitor = SLOMonitor([latency_slo()], clock=clock)
+        for i in range(100):
+            monitor.observe("latency", 0.01, t=0.5 + i * 0.5)  # good history
+        for i in range(10):
+            monitor.observe("latency", 0.5, t=56.0 + i * 0.4)  # bad spike
+        fast, slow = monitor.burn_rates("latency", t=60.0)
+        assert fast == pytest.approx(20.0)
+        assert slow == pytest.approx((10 / 110) / 0.05)
+        assert monitor.fast_burning(t=60.0)
+        assert not monitor.burning("latency", t=60.0)
+
+    def test_sustained_burn_trips_both_windows(self):
+        monitor = SLOMonitor([latency_slo()], clock=FakeClock(60.0))
+        for i in range(120):
+            monitor.observe("latency", 0.5, t=i * 0.5)
+        fast, slow = monitor.burn_rates("latency", t=60.0)
+        assert fast == pytest.approx(20.0)
+        assert slow == pytest.approx(20.0)
+        assert monitor.burning("latency", t=60.0)
+
+    def test_burn_hooks_fire_on_transitions_only(self):
+        clock = FakeClock(10.0)
+        monitor = SLOMonitor([latency_slo()], clock=clock)
+        flips: list[tuple[str, bool]] = []
+        monitor.add_burn_hook(lambda slo, burning: flips.append((slo.name, burning)))
+
+        for i in range(20):
+            monitor.observe("latency", 0.5, t=5.0 + i * 0.25)
+        monitor.status(t=10.0)
+        monitor.status(t=10.0)  # steady state: no second callback
+        clock.t = 200.0
+        monitor.status()  # windows emptied -> flips back off
+        assert flips == [("latency", True), ("latency", False)]
+
+    def test_status_publishes_gauges_to_bound_registry(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor([latency_slo()], registry=registry, clock=FakeClock(10.0))
+        for i in range(20):
+            monitor.observe("latency", 0.5, t=5.0 + i * 0.25)
+        monitor.status(t=10.0)
+        gauges = {
+            (series.name, tuple(series.labels)): series.value
+            for series in registry.collect(kind="gauge", prefix="slo.")
+        }
+        assert gauges[
+            ("slo.burn_rate", (("slo", "latency"), ("window", "fast")))
+        ] == pytest.approx(20.0)
+        assert gauges[("slo.burning", (("slo", "latency"),))] == 1.0
+        text = render_prometheus(registry)
+        assert "slo_burn_rate" in text and 'slo="latency"' in text
+
+    def test_reset_drops_all_events(self):
+        monitor = SLOMonitor([latency_slo()], clock=FakeClock(1.0))
+        monitor.observe("latency", 0.5, t=1.0)
+        monitor.reset()
+        assert monitor.burn_rates("latency", t=1.0) == (0.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# MetricsCollector integration
+# ----------------------------------------------------------------------
+class TestCollectorIntegration:
+    def _request(self, priority: int = 0) -> QueryRequest:
+        return QueryRequest(
+            scorer=LinearPreference([0.5, 0.5]), k=3, tau=30, priority=priority
+        )
+
+    def test_responses_feed_latency_and_rejection_slos(self):
+        clock = FakeClock(1.0)
+        collector = MetricsCollector(slos=SLOMonitor(clock=clock))
+        collector.record_response(
+            QueryResponse(request=self._request(), total_seconds=0.5)  # > 0.25
+        )
+        collector.record_response(
+            QueryResponse(request=self._request(), total_seconds=0.01)
+        )
+        collector.record_rejection(RejectionReason.QUEUE_FULL)
+        snap = collector.snapshot()
+        assert snap.slo["latency"]["events"] == 2
+        assert snap.slo["latency"]["bad"] == 1
+        assert snap.slo["rejections"]["events"] == 3
+        assert snap.slo["rejections"]["bad"] == 1
+        assert "slo" in snap.as_dict()
+        report = snap.report()
+        assert "slo latency" in report and "slo rejections" in report
+
+    def test_staleness_rides_the_response_extra(self):
+        collector = MetricsCollector(slos=SLOMonitor(clock=FakeClock(1.0)))
+        stale = SimpleNamespace(extra={"staleness_rows": 5000.0})
+        collector.record_response(
+            QueryResponse(request=self._request(), result=stale, total_seconds=0.01)
+        )
+        assert collector.snapshot().slo["staleness"]["bad"] == 1
+
+    def test_reset_clears_slo_state_too(self):
+        collector = MetricsCollector(slos=SLOMonitor(clock=FakeClock(1.0)))
+        collector.record_rejection(RejectionReason.QUEUE_FULL)
+        collector.reset()
+        assert collector.snapshot().slo["rejections"]["events"] == 0
+
+    def test_collector_without_slos_reports_none(self):
+        collector = MetricsCollector()
+        snap = collector.snapshot()
+        assert snap.slo == {}
+        assert "slo" not in snap.as_dict()
+        assert "slo " not in snap.report()
+
+
+# ----------------------------------------------------------------------
+# Degradation: shedding under fast burn
+# ----------------------------------------------------------------------
+def _burning_monitor(clock: FakeClock) -> SLOMonitor:
+    """A monitor whose latency fast window is on fire at ``clock.t``."""
+    monitor = SLOMonitor(clock=clock)
+    for i in range(20):
+        monitor.observe("latency", 10.0, t=clock.t - 4.0 + i * 0.2)
+    assert monitor.fast_burning()
+    return monitor
+
+
+class TestShedding:
+    def _request(self, priority: int) -> QueryRequest:
+        return QueryRequest(
+            scorer=LinearPreference([0.5, 0.5]),
+            k=3,
+            tau=30,
+            algorithm="t-hop",
+            priority=priority,
+        )
+
+    def test_policy_only_sheds_low_priority_under_burn(self):
+        clock = FakeClock(100.0)
+        monitor = _burning_monitor(clock)
+        assert shed_low_priority(self._request(-1), monitor) is RejectionReason.SHED
+        assert shed_low_priority(self._request(0), monitor) is None
+        calm = SLOMonitor(clock=clock)
+        assert shed_low_priority(self._request(-1), calm) is None
+
+    def test_service_sheds_then_recovers(self):
+        clock = FakeClock(100.0)
+        collector = MetricsCollector(slos=_burning_monitor(clock))
+        data = independent_uniform(300, 2, seed=1)
+        with DurableTopKService(
+            EngineBackend(DurableTopKEngine(data)), workers=2, metrics=collector
+        ) as service:
+            shed = service.query(self._request(-1))
+            assert not shed.ok
+            assert shed.error.reason is RejectionReason.SHED
+            served = service.query(self._request(0))
+            assert served.ok
+            # Burn subsides (windows age out) -> low priority flows again.
+            clock.t = 500.0
+            recovered = service.query(self._request(-1))
+            assert recovered.ok
+        assert collector.snapshot().rejected.get("shed") == 1
+
+    def test_degradation_none_disables_shedding(self):
+        clock = FakeClock(100.0)
+        collector = MetricsCollector(slos=_burning_monitor(clock))
+        data = independent_uniform(300, 2, seed=1)
+        with DurableTopKService(
+            EngineBackend(DurableTopKEngine(data)),
+            workers=2,
+            metrics=collector,
+            degradation=None,
+        ) as service:
+            assert service.query(self._request(-1)).ok

@@ -1,0 +1,144 @@
+"""Tests for the `repro top` dashboard (`repro.experiments.top`).
+
+The :class:`Dashboard` render is a pure string over a collector, a
+registry and a trace buffer, so the tests fabricate those and assert on
+frame content: request/latency/batching rows, frame-over-frame counter
+rates, per-SLO burn rows, and the slowest-trace one-liner. The CLI
+``--once`` path drives the real demo stack once, headless.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.top import Dashboard, run_top
+from repro.obs import TRACES, MetricsRegistry, TraceBuffer, enable, trace_span
+from repro.obs.slo import SLOMonitor
+from repro.obs.trace import reset_for_tests
+from repro.scoring import LinearPreference
+from repro.service import (
+    MetricsCollector,
+    QueryRequest,
+    QueryResponse,
+    RejectionReason,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    reset_for_tests()
+    yield
+    reset_for_tests()
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make_dashboard(clock=None, traces=None, slos=False):
+    registry = MetricsRegistry()
+    collector = MetricsCollector(
+        registry=registry, slos=SLOMonitor(clock=clock) if slos else None
+    )
+    dashboard = Dashboard(
+        collector,
+        registry=registry,
+        traces=traces if traces is not None else TraceBuffer(),
+        clock=clock or FakeClock(),
+    )
+    return dashboard, collector, registry
+
+
+def response(total_seconds: float = 0.01) -> QueryResponse:
+    request = QueryRequest(scorer=LinearPreference([0.5, 0.5]), k=3, tau=30)
+    return QueryResponse(request=request, total_seconds=total_seconds)
+
+
+class TestDashboardFrame:
+    def test_frame_shows_requests_latency_and_batching(self):
+        clock = FakeClock(5.0)
+        dashboard, collector, _ = make_dashboard(clock=clock)
+        collector.record_response(response(0.010))
+        collector.record_rejection(RejectionReason.QUEUE_FULL)
+        clock.t = 6.0
+        frame = dashboard.frame()
+        assert "repro top" in frame
+        assert "1 ok / 1 rejected" in frame
+        assert "latency ms p50" in frame
+        assert "batching" in frame
+        assert "\x1b" not in frame  # pure text; ANSI only in the live loop
+
+    def test_counter_rates_are_frame_over_frame(self):
+        clock = FakeClock(10.0)
+        dashboard, _, registry = make_dashboard(clock=clock)
+        dashboard.frame()  # first frame: rates anchor at current totals
+        registry.counter("wal.fsyncs").inc(10)
+        clock.t = 12.0  # 10 fsyncs over 2 s -> 5.0/s
+        frame = dashboard.frame()
+        assert "wal fsync    5.0/s" in frame
+        clock.t = 14.0  # no new fsyncs -> rate falls back to 0
+        assert "wal fsync    0.0/s" in dashboard.frame()
+
+    def test_slo_rows_render_burning_state(self):
+        clock = FakeClock(100.0)
+        dashboard, collector, _ = make_dashboard(clock=clock, slos=True)
+        for _ in range(30):
+            collector.record_response(response(10.0))  # way over objective
+        frame = dashboard.frame()
+        assert "slo        latency     BURNING" in frame
+        assert "slo        rejections  ok" in frame
+
+    def test_slowest_trace_one_liner(self):
+        enable()
+        with trace_span("service.batch", batch_size=4):
+            pass
+        dashboard, _, _ = make_dashboard(traces=TRACES)
+        frame = dashboard.frame()
+        assert "slowest    service.batch" in frame
+        assert "batch_size=4" in frame
+
+    def test_empty_trace_buffer_says_so(self):
+        dashboard, _, _ = make_dashboard()
+        assert "no traces retained" in dashboard.frame()
+
+    def test_fanout_row_appears_only_for_sharded_traffic(self):
+        dashboard, collector, registry = make_dashboard()
+        assert "fanout" not in dashboard.frame()
+        registry.counter("service.fanout", width=2).inc()
+        registry.counter("service.shard_queries", shard=0).inc()
+        registry.counter("service.shard_queries", shard=1).inc()
+        frame = dashboard.frame()
+        assert "fanout" in frame and "s0=1" in frame
+
+
+class TestTopCLI:
+    def test_run_top_once_renders_headless(self):
+        buf = io.StringIO()
+        frame = run_top(
+            once=True,
+            interval=0.2,
+            n0=1_500,
+            clients=1,
+            workers=1,
+            writers=1,
+            n_preferences=4,
+            request_rate=120.0,
+            out=buf,
+        )
+        assert "repro top" in frame
+        assert "slo        latency" in frame
+        assert "ingest     segments" in frame
+        assert "\x1b" not in buf.getvalue()  # --once never emits ANSI
+
+    def test_cli_top_once(self, capsys):
+        assert main(["top", "--once", "--interval", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "requests" in out
