@@ -1,0 +1,34 @@
+"""Semantic answer cache benchmark: structural reuse of served answers.
+
+Asserts the tentpole claim of the exact tier: on the Zipfian
+shape-catalogue workload (hot preferences repeating hot query shapes
+verbatim), fronting the PR 8 serving configuration with the semantic
+answer cache drops p95 latency by at least 3x at a hit rate of at
+least 50%. The uncached-vs-cached comparison goes to
+``results/cache_speedup.txt``.
+
+Byte-identity is asserted unconditionally, twice: every cached-side
+answer is re-derived (ids, durations *and* per-query stats) on a fresh
+uncached engine, and a live-ingest phase re-derives every response from
+the frozen prefix its snapshot version pins — a speedup over stale or
+wrong answers is no speedup.
+"""
+
+from repro.experiments.cache_bench import cache_speedup_bench
+
+
+def test_cache_speedup(save_report):
+    result = cache_speedup_bench(verify=True)
+    save_report(result.name, result.report, result.metrics)
+
+    # Correctness half: nothing wrong, nothing stale, nothing refused.
+    assert result.data["incorrect"] == 0, result.report
+    assert result.data["rejected"] == 0, result.report
+    assert result.data["verified"] == result.data["requests"], result.report
+    ingest = result.data["ingest"]
+    assert ingest["incorrect"] == 0, result.report
+    assert ingest["verified"] + ingest["rejected"] == ingest["requests"]
+
+    # Performance half: the headline — >= 3x p95 drop at >= 50% hits.
+    assert result.data["hit_rate"] >= 0.50, result.report
+    assert result.data["p95_speedup"] >= 3.0, result.report

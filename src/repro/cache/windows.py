@@ -1,0 +1,188 @@
+"""The seeded tier: a persistent cross-batch window memo.
+
+:class:`WindowMemo` generalises the batch-scoped
+:class:`~repro.index.topk.BatchTopKMemo` into a structure that survives
+between batches on a pooled session. The placement is identical — the
+memo wraps the raw preference-bound index and each query's
+:class:`~repro.index.topk.CountingTopKIndex` wraps the memo — so a
+*seeded* execution still runs the real algorithm and charges the real
+:class:`~repro.core.query.QueryStats`: ids, durations and stats are
+byte-identical to a cold run by construction. What the seed buys is the
+traversal work: a later batch whose queries revisit windows an earlier
+batch already answered (contained intervals and same-``tau``
+trajectories share their suffix from the first durable record below
+``min(hi)`` on — the candidate-set structure of Lemmas 4/5) gets those
+answers from the memo instead of the index.
+
+Epoch safety mirrors the answer cache: every batch re-binds the memo via
+:meth:`bind` with the dataset/snapshot version it is about to serve;
+a version change drops every entry, so ingest invalidates by epoch and
+a stale window can never seed a newer epoch's query. Re-binding under
+the *same* version advances a generation counter — a hit on an entry
+written by an earlier generation is a **seed** (cross-batch reuse), and
+is counted both locally and in the process-wide
+``cache.window_seeds`` counter the dashboard rates.
+
+Memory is bounded by an entry-count LRU (answers are small: Lemma 4
+sizes the expected answer at ``k|I|/(tau+1)`` records, and a window
+entry holds at most ``k`` ids). Not thread-safe — a memo belongs to one
+session, and the service serves at most one batch per preference key at
+a time, which is the same contract every session cache relies on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.index.topk import TopKIndex
+from repro.obs import global_registry
+
+__all__ = ["WindowMemo"]
+
+
+class WindowMemo:
+    """A bounded, epoch-aware top-k window memo that outlives its batch.
+
+    Implements the :class:`~repro.index.topk.TopKIndex` protocol by
+    delegation (plus :meth:`prime`, the vectorised pre-answer hook), so
+    the engine and the live dataset can drop it in wherever a
+    :class:`~repro.index.topk.BatchTopKMemo` fits.
+
+    Parameters
+    ----------
+    max_entries:
+        Windows retained across batches (LRU-evicted). Entries are
+        small — a ``topk`` answer holds at most ``k`` ids — so the
+        default keeps a deep history for well under a megabyte.
+    """
+
+    __slots__ = (
+        "_inner",
+        "_version",
+        "_generation",
+        "_topk",
+        "_top1",
+        "max_entries",
+        "hits",
+        "seeds",
+        "evictions",
+        "invalidations",
+    )
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._inner: TopKIndex | None = None
+        self._version: object = None
+        self._generation = 0
+        # key -> [answer, generation]; OrderedDict gives the LRU order.
+        self._topk: "OrderedDict[tuple, list]" = OrderedDict()
+        self._top1: "OrderedDict[tuple, list]" = OrderedDict()
+        self.hits = 0
+        self.seeds = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, inner: TopKIndex, version: object) -> "WindowMemo":
+        """Point the memo at this batch's index/epoch; returns ``self``.
+
+        Same ``version`` as the previous bind: entries survive and the
+        generation advances (hits on older-generation entries count as
+        seeds). Different version: every entry is dropped — the epoch
+        invalidation that makes staleness impossible by construction.
+        """
+        if version != self._version:
+            if self._topk or self._top1:
+                self.invalidations += 1
+            self._topk.clear()
+            self._top1.clear()
+            self._version = version
+            self._generation = 0
+        else:
+            self._generation += 1
+        self._inner = inner
+        return self
+
+    def clear(self) -> None:
+        """Drop every memoised window (the binding itself is kept)."""
+        self._topk.clear()
+        self._top1.clear()
+
+    @property
+    def entries(self) -> int:
+        return len(self._topk) + len(self._top1)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": self.entries,
+            "hits": self.hits,
+            "seeds": self.seeds,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    # ------------------------------------------------------------------
+    # TopKIndex protocol (plus prime), memoised
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    def score(self, record_id: int) -> float:
+        return self._inner.score(record_id)
+
+    def _hit(self, store: "OrderedDict[tuple, list]", key: tuple, entry: list):
+        store.move_to_end(key)
+        self.hits += 1
+        if entry[1] != self._generation:
+            # Written by an earlier batch: this lookup was *seeded*.
+            # Refresh the generation so one batch counts a window once.
+            entry[1] = self._generation
+            self.seeds += 1
+            global_registry().counter("cache.window_seeds").inc()
+        return entry[0]
+
+    def _insert(self, store: "OrderedDict[tuple, list]", key: tuple, answer) -> None:
+        store[key] = [answer, self._generation]
+        if len(store) > self.max_entries:
+            store.popitem(last=False)
+            self.evictions += 1
+
+    def top1(self, lo: int, hi: int) -> int | None:
+        key = (lo, hi)
+        entry = self._top1.get(key)
+        if entry is not None:
+            return self._hit(self._top1, key, entry)
+        found = self._inner.top1(lo, hi)
+        self._insert(self._top1, key, found)
+        return found
+
+    def topk(self, k: int, lo: int, hi: int) -> list[int]:
+        key = (k, lo, hi)
+        entry = self._topk.get(key)
+        if entry is not None:
+            return self._hit(self._topk, key, entry)
+        found = self._inner.topk(k, lo, hi)
+        self._insert(self._topk, key, found)
+        return found
+
+    def prime(self, k: int, windows: Sequence[tuple[int, int]]) -> None:
+        """Pre-answer ``windows`` for rank ``k`` in one vectorised pass.
+
+        Windows already memoised (from this batch's plan *or* an earlier
+        batch — the cross-batch seed) are skipped; the rest go through
+        the inner index's ``topk_batch`` when it has one.
+        """
+        batch = getattr(self._inner, "topk_batch", None)
+        if batch is None:
+            return
+        fresh = [w for w in windows if (k, w[0], w[1]) not in self._topk]
+        if not fresh:
+            return
+        for (lo, hi), ids in zip(fresh, batch(k, fresh)):
+            self._insert(self._topk, (k, lo, hi), ids)

@@ -439,7 +439,16 @@ class DurableTopKEngine:
         ]
         if past:
             inner = session.index if session is not None else self._bound_index(scorer)
-            memo = BatchTopKMemo(inner)
+            persistent = session.window_memo if session is not None else None
+            if persistent is not None:
+                # A serving backend attached a cross-batch WindowMemo:
+                # bind it to this batch's index/epoch so windows answered
+                # by earlier batches seed this one (stale epochs are
+                # dropped inside bind()). Placement is identical to the
+                # batch-scoped memo, so outputs stay byte-identical.
+                memo = persistent.bind(inner, self.dataset.version)
+            else:
+                memo = BatchTopKMemo(inner)
             plan = BatchPlan(past, self.dataset.n)
             for k, windows in plan.opening_windows().items():
                 memo.prime(k, windows)

@@ -55,9 +55,26 @@ class QuerySession:
         Score vectors for contiguous row ranges, keyed by ``(lo, hi)``.
     page_scores:
         Score vectors for whole storage pages, keyed by page id.
+    window_memo / window_memo_reverse:
+        Optional persistent :class:`~repro.cache.windows.WindowMemo`
+        pair (forward / time-reversed) attached by a serving backend.
+        When present, batched execution binds the memo instead of a
+        batch-scoped one, so top-k windows answered by earlier batches
+        seed later ones (the cache's *seeded* tier). The memo re-binds
+        per batch against the dataset/snapshot version, so it obeys the
+        same epoch-invalidation contract as every other session cache.
     """
 
-    __slots__ = ("u", "ub", "points", "range_scores", "page_scores", "closed")
+    __slots__ = (
+        "u",
+        "ub",
+        "points",
+        "range_scores",
+        "page_scores",
+        "window_memo",
+        "window_memo_reverse",
+        "closed",
+    )
 
     def __init__(self, u: np.ndarray | None = None) -> None:
         self.u = None if u is None else np.asarray(u, dtype=float)
@@ -65,14 +82,25 @@ class QuerySession:
         self.points: dict = {}
         self.range_scores: dict = {}
         self.page_scores: dict = {}
+        self.window_memo = None
+        self.window_memo_reverse = None
         self.closed = False
 
     def clear(self) -> None:
-        """Drop all cached state (the binding to ``u`` is kept)."""
+        """Drop all cached state (the binding to ``u`` is kept).
+
+        Persistent window memos are emptied, not detached: an epoch
+        rebind calls ``clear()`` and must still find the memo attached
+        for the next batch.
+        """
         self.ub.clear()
         self.points.clear()
         self.range_scores.clear()
         self.page_scores.clear()
+        if self.window_memo is not None:
+            self.window_memo.clear()
+        if self.window_memo_reverse is not None:
+            self.window_memo_reverse.clear()
 
     def close(self) -> None:
         """Release cached state and mark the session closed.

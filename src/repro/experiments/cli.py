@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --out results/
     python -m repro serve-bench --out results/
     python -m repro serve-bench --smoke
+    python -m repro cache-bench --out results/
+    python -m repro cache-bench --smoke
     python -m repro ingest-bench --out results/
     python -m repro ingest-bench --smoke
     python -m repro shard-bench --shards 1,2,4
@@ -24,7 +26,11 @@ Usage::
 Each experiment prints the same table/series its benchmark counterpart
 saves, so results can be regenerated without pytest. ``serve-bench``
 drives the concurrent serving layer (naive lock vs session-pooled
-service); ``ingest-bench`` drives the live ingestion pipeline (appends
+service); ``cache-bench`` drives the same pipelined workload with and
+without the semantic answer cache and reports the p95 speedup and hit
+rate (its ``--smoke`` re-derives every served answer — ids, durations
+and stats — on an uncached engine, including a live-ingest phase);
+``ingest-bench`` drives the live ingestion pipeline (appends
 racing queries) and reports throughput, latency and freshness;
 ``shard-bench`` drives the multi-process sharded backend and reports the
 throughput-vs-shards scaling curve; ``batch-bench`` compares a serial
@@ -175,10 +181,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="small run with --verify; exit 1 on any rejected/incorrect response",
     )
     serve.add_argument(
+        "--pool-capacity",
+        type=int,
+        default=None,
+        help="session pool capacity (default: sized to --preferences)",
+    )
+    serve.add_argument(
         "--out",
         type=Path,
         default=Path("results"),
         help="directory for service_throughput.txt (default: results/)",
+    )
+
+    cache = sub.add_parser(
+        "cache-bench",
+        help="benchmark the semantic answer cache (uncached vs cached service)",
+    )
+    cache.add_argument("--n", type=int, default=60_000, help="dataset size")
+    cache.add_argument("--requests", type=int, default=1200, help="requests per round")
+    cache.add_argument("--clients", type=int, default=8, help="client threads")
+    cache.add_argument("--workers", type=int, default=8, help="service worker threads")
+    cache.add_argument(
+        "--preferences", type=int, default=96, help="distinct preference vectors"
+    )
+    cache.add_argument("--zipf", type=float, default=1.1, help="preference zipf exponent")
+    cache.add_argument(
+        "--shapes", type=int, default=8, help="query shapes per preference"
+    )
+    cache.add_argument(
+        "--shape-zipf", type=float, default=1.2, help="shape zipf exponent"
+    )
+    cache.add_argument("--rounds", type=int, default=2, help="timed rounds per side")
+    cache.add_argument(
+        "--pool-capacity",
+        type=int,
+        default=None,
+        help="session pool capacity (default: sized to --preferences)",
+    )
+    cache.add_argument(
+        "--cache-mb", type=int, default=64, help="answer cache capacity in MiB"
+    )
+    cache.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-derive every served answer on an uncached engine "
+        "(ids, durations, stats) and run the live-ingest equivalence phase",
+    )
+    cache.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run with --verify; exit 1 on any stale/incorrect response",
+    )
+    cache.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for cache_speedup.txt (default: results/)",
     )
 
     ingest = sub.add_parser(
@@ -485,6 +543,7 @@ def _serve_bench(args) -> int:
         "zipf_s": args.zipf,
         "rounds": args.rounds,
         "verify": args.verify or args.smoke,
+        "pool_capacity": args.pool_capacity,
     }
     if args.smoke:
         kwargs.update(SMOKE_DEFAULTS)
@@ -508,6 +567,60 @@ def _serve_bench(args) -> int:
         args.smoke,
         failures,
         "smoke ok: all responses served and serially verified",
+    )
+
+
+def _cache_bench(args) -> int:
+    from repro.experiments.cache_bench import SMOKE_DEFAULTS, cache_speedup_bench
+
+    kwargs = {
+        "n": args.n,
+        "requests": args.requests,
+        "clients": args.clients,
+        "workers": args.workers,
+        "n_preferences": args.preferences,
+        "zipf_s": args.zipf,
+        "shapes_per_preference": args.shapes,
+        "shape_zipf_s": args.shape_zipf,
+        "rounds": args.rounds,
+        "pool_capacity": args.pool_capacity,
+        "cache_bytes": args.cache_mb * 1024 * 1024,
+        "verify": args.verify or args.smoke,
+    }
+    if args.smoke:
+        kwargs.update(SMOKE_DEFAULTS)
+        kwargs["verify"] = True
+    start = time.perf_counter()
+    result = cache_speedup_bench(**kwargs)
+    elapsed = time.perf_counter() - start
+    failures = []
+    if args.smoke:
+        failures = _response_failures(result.data)
+        if result.data["verified"] != result.data["requests"]:
+            failures.append(
+                f"serial re-derivation {result.data['verified']}/"
+                f"{result.data['requests']}"
+            )
+        ingest = result.data["ingest"]
+        if ingest and ingest["incorrect"]:
+            failures.append(
+                f"{ingest['incorrect']} live-ingest response(s) diverged from "
+                "their frozen snapshot prefix"
+            )
+        if ingest and ingest["verified"] + ingest["rejected"] != ingest["requests"]:
+            failures.append(
+                f"live-ingest re-derivation covered "
+                f"{ingest['verified'] + ingest['rejected']}/{ingest['requests']}"
+            )
+    return _finish_bench(
+        "cache-bench",
+        result,
+        elapsed,
+        args.out,
+        args.smoke,
+        failures,
+        "smoke ok: every cached answer byte-identical to the uncached engine, "
+        "including under live ingest",
     )
 
 
@@ -816,6 +929,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "serve-bench":
         return _serve_bench(args)
+    if args.command == "cache-bench":
+        return _cache_bench(args)
     if args.command == "ingest-bench":
         return _ingest_bench(args)
     if args.command == "shard-bench":

@@ -142,6 +142,7 @@ def service_throughput_bench(
     rounds: int = 2,
     seed: int = 7,
     verify: bool = False,
+    pool_capacity: int | None = None,
 ) -> ServiceBenchResult:
     """Run naive-vs-pooled under one workload; see module docstring.
 
@@ -149,8 +150,11 @@ def service_throughput_bench(
     ``tau``, small intervals over a large dataset), the regime where the
     serving strategy — not raw query cost — decides throughput. One
     untimed pooled round runs first so allocator/CPU warmup is not
-    attributed to either side.
+    attributed to either side. ``pool_capacity=None`` sizes the session
+    pool to the preference catalogue.
     """
+    if pool_capacity is None:
+        pool_capacity = n_preferences
     dataset = independent_uniform(n, 2, seed=seed)
     spec = WorkloadSpec(
         n_preferences=n_preferences,
@@ -165,14 +169,14 @@ def service_throughput_bench(
     generator = WorkloadGenerator(spec, dataset.n)
     stream = generator.requests(requests)
 
-    _run_pooled(dataset, stream, clients, workers, n_preferences)  # warmup
+    _run_pooled(dataset, stream, clients, workers, pool_capacity)  # warmup
 
     naive_rounds: list[_Round] = []
     pooled_rounds: list[tuple[_Round, dict]] = []
     for _ in range(max(1, rounds)):
         naive_rounds.append(_run_naive(dataset, stream, clients))
         pooled_rounds.append(
-            _run_pooled(dataset, stream, clients, workers, n_preferences)
+            _run_pooled(dataset, stream, clients, workers, pool_capacity)
         )
     naive_best = max(naive_rounds, key=lambda r: r.rps)
     pooled_best, pool_stats = max(pooled_rounds, key=lambda rp: rp[0].rps)

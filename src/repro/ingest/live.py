@@ -572,6 +572,8 @@ class LiveDataset:
         algorithm="t-hop",
         with_durations: bool = False,
         snapshot: LiveSnapshot | None = None,
+        window_memo=None,
+        window_memo_reverse=None,
     ) -> list[DurableTopKResult]:
         """Answer a batch of queries over **one** snapshot in a shared pass.
 
@@ -586,6 +588,14 @@ class LiveDataset:
         per-part pass. ``algorithm`` is one name or a per-query sequence.
         A whole batch sees a single consistent view: tail rows that land
         mid-batch wait for the next one.
+
+        ``window_memo`` / ``window_memo_reverse`` optionally supply
+        persistent :class:`~repro.cache.windows.WindowMemo` instances
+        (forward / reversed) that are re-bound to this snapshot's
+        stitched index and version, so windows answered by earlier
+        batches seed this one across batch boundaries — the memo drops
+        its entries whenever the snapshot version moved, which is what
+        makes seeding safe under live ingest.
         """
         queries = list(queries)
         if isinstance(algorithm, str):
@@ -610,7 +620,11 @@ class LiveDataset:
             if query.direction is not Direction.FUTURE
         ]
         if past:
-            memo = BatchTopKMemo(snap.stitched_index(scorer))
+            inner = snap.stitched_index(scorer)
+            if window_memo is not None:
+                memo = window_memo.bind(inner, snap.version)
+            else:
+                memo = BatchTopKMemo(inner)
             plan = BatchPlan(past, snap.n)
             for k, windows in plan.opening_windows().items():
                 memo.prime(k, windows)
@@ -629,7 +643,11 @@ class LiveDataset:
         if future:
             # Dedupe on the *mirrored* look-back form (what executes);
             # trajectories then share the one reversed stitched block.
-            memo = BatchTopKMemo(snap.stitched_index(scorer, reverse=True))
+            inner = snap.stitched_index(scorer, reverse=True)
+            if window_memo_reverse is not None:
+                memo = window_memo_reverse.bind(inner, snap.version)
+            else:
+                memo = BatchTopKMemo(inner)
             plan = BatchPlan(
                 [(i, query.reversed(snap.n), name) for i, query, name in future],
                 snap.n,

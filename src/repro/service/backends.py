@@ -1,9 +1,11 @@
 """Execution backends the service can serve queries through.
 
-A backend knows two things: how to open a per-preference
-:class:`~repro.core.session.QuerySession` (the pooled resource) and how
+A backend knows three things: how to open a per-preference
+:class:`~repro.core.session.QuerySession` (the pooled resource), how
 to execute one :class:`~repro.service.request.QueryRequest` with such a
-session. Two backends ship:
+session, and which ``dataset_version()`` (content epoch) it currently
+serves — the key the semantic answer cache pins entries to. Two
+backends ship:
 
 * :class:`EngineBackend` — the in-memory
   :class:`~repro.core.engine.DurableTopKEngine`. Queries under
@@ -56,15 +58,34 @@ __all__ = ["EngineBackend", "LiveBackend", "MiniDBBackend", "ShardedBackend"]
 
 
 class EngineBackend:
-    """Serve requests through an in-memory :class:`DurableTopKEngine`."""
+    """Serve requests through an in-memory :class:`DurableTopKEngine`.
+
+    ``window_memo=True`` (the default) attaches a persistent
+    :class:`~repro.cache.windows.WindowMemo` to every session it opens:
+    top-k windows answered by one batch seed later batches under the
+    same preference (the cache's *seeded* tier), while each query still
+    runs the real algorithm and charges its own stats — outputs stay
+    byte-identical to a memo-free run. Benchmarks pass ``False`` for an
+    honest uncached baseline.
+    """
 
     name = "engine"
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine, window_memo: bool = True) -> None:
         self.engine = engine
+        self.window_memo = window_memo
+
+    def dataset_version(self):
+        """The served content epoch (immutable datasets stamp one version)."""
+        return self.engine.dataset.version
 
     def make_session(self, scorer) -> QuerySession:
-        return self.engine.session(scorer)
+        session = self.engine.session(scorer)
+        if self.window_memo:
+            from repro.cache import WindowMemo
+
+            session.window_memo = WindowMemo()
+        return session
 
     def execute(self, session, request: QueryRequest) -> DurableTopKResult:
         return session.query(
@@ -97,12 +118,27 @@ class LiveBackend:
 
     name = "live"
 
-    def __init__(self, live) -> None:
+    def __init__(self, live, window_memo: bool = True) -> None:
         self.live = live
+        self.window_memo = window_memo
+
+    def dataset_version(self):
+        """The live content epoch: the monotone row-count version stamp."""
+        return self.live.version
 
     def make_session(self, scorer) -> QuerySession:
         scorer.validate_for(self.live.d)
-        return QuerySession(getattr(scorer, "u", None))
+        session = QuerySession(getattr(scorer, "u", None))
+        if self.window_memo:
+            from repro.cache import WindowMemo
+
+            # One memo per direction: forward and reversed stitched
+            # indexes answer over mirrored coordinates, so their windows
+            # must never share entries. Both re-bind per batch against
+            # the snapshot version (epoch invalidation under ingest).
+            session.window_memo = WindowMemo()
+            session.window_memo_reverse = WindowMemo()
+        return session
 
     def execute(self, session, request: QueryRequest) -> DurableTopKResult:
         result = self.live.query(
@@ -120,6 +156,8 @@ class LiveBackend:
             [request.as_query() for request in requests],
             requests[0].scorer,
             algorithm=[request.algorithm for request in requests],
+            window_memo=session.window_memo,
+            window_memo_reverse=session.window_memo_reverse,
         )
         live_n = self.live.n
         for result in results:
@@ -140,25 +178,69 @@ class ShardedBackend:
     costs one pickle round of the scorer and nothing else. The service's
     per-preference batching still pays off — batched requests hit the
     shard workers' warm sessions back to back.
+
+    ``cache`` optionally plugs a coordinator-level
+    :class:`~repro.cache.SemanticAnswerCache` in *front of the scatter*:
+    cached requests are answered without touching a single worker pipe,
+    only the misses fan out, and every gathered answer back-fills the
+    cache. Scatter-gather is the most expensive execution path in the
+    stack (pickle + pipe round per shard), so this is where structural
+    reuse saves the most. The cache is thread-safe and shared across
+    service workers; the sharded dataset is immutable, so its one
+    version pins every entry.
     """
 
     name = "sharded"
 
-    def __init__(self, coordinator) -> None:
+    def __init__(self, coordinator, cache=None) -> None:
         self.coordinator = coordinator
+        self.cache = cache
+
+    def dataset_version(self):
+        """The shared-memory dataset's content epoch."""
+        return getattr(self.coordinator.dataset, "version", 0)
 
     def make_session(self, scorer) -> QuerySession:
         scorer.validate_for(self.coordinator.dataset.d)
         return QuerySession(getattr(scorer, "u", None))
 
     def execute(self, session, request: QueryRequest) -> DurableTopKResult:
+        if self.cache is not None:
+            version = self.dataset_version()
+            cached = self.cache.get(request, version)
+            if cached is not None:
+                return cached
+            result = self.coordinator.query(request)
+            self.cache.put(request, version, result)
+            return result
         return self.coordinator.query(request)
 
     def execute_batch(
         self, session, requests: list[QueryRequest]
     ) -> list[DurableTopKResult]:
-        """Scatter the batch as one seq-tagged sub-request per shard."""
-        return self.coordinator.query_batch(requests)
+        """Scatter the batch as one seq-tagged sub-request per shard.
+
+        With a cache attached, cached answers are peeled off first and
+        only the remaining misses scatter (fewer pipe rounds, smaller
+        sub-batches); the gathered answers then back-fill the cache.
+        """
+        if self.cache is None:
+            return self.coordinator.query_batch(requests)
+        version = self.dataset_version()
+        results: list[DurableTopKResult | None] = [None] * len(requests)
+        misses: list[int] = []
+        for i, request in enumerate(requests):
+            cached = self.cache.get(request, version)
+            if cached is not None:
+                results[i] = cached
+            else:
+                misses.append(i)
+        if misses:
+            gathered = self.coordinator.query_batch([requests[i] for i in misses])
+            for i, result in zip(misses, gathered):
+                results[i] = result
+                self.cache.put(requests[i], version, result)
+        return results  # type: ignore[return-value]
 
     def metrics_source(self) -> dict:
         """Worker lifecycle counters for the service metrics snapshot.
@@ -208,6 +290,10 @@ class MiniDBBackend:
         # The buffer pool and pager are shared mutable state without
         # internal latching; one execution latch stands in for them.
         self._latch = threading.Lock()
+
+    def dataset_version(self):
+        """MiniDB tables are load-once immutable; one epoch per database."""
+        return getattr(self.db, "version", 0)
 
     def make_session(self, scorer) -> QuerySession:
         u = getattr(scorer, "u", None)

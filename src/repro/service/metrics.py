@@ -78,8 +78,14 @@ class MetricsSnapshot:
     fanout: dict[int, int] = field(default_factory=dict)
     #: Sub-queries served per shard id; empty off sharded backends.
     shard_queries: dict[int, int] = field(default_factory=dict)
-    #: Requests answered by another request's execution (single-flight).
+    #: Requests answered by another request's execution (single-flight),
+    #: split by where the absorb happened: inside one batch pickup
+    #: (``coalesced_batch``) vs joining an earlier batch's still-open
+    #: flight at submit time (``coalesced_inflight``). ``coalesced``
+    #: stays the total for back-compat.
     coalesced: int = 0
+    coalesced_batch: int = 0
+    coalesced_inflight: int = 0
     #: Shard worker processes respawned (lifetime of the backend), and
     #: the subset revived by a health check finding them dead between
     #: requests. Zero off sharded backends.
@@ -136,7 +142,11 @@ class MetricsSnapshot:
             "wait_p95_ms": round(self.wait_p95 * 1e3, 3),
             "service_p95_ms": round(self.service_p95 * 1e3, 3),
             "coalesced": self.coalesced,
+            "coalesced_batch": self.coalesced_batch,
+            "coalesced_inflight": self.coalesced_inflight,
         }
+        if self.extra:
+            out["extra"] = dict(self.extra)
         if self.fanout:
             out["fanout"] = dict(self.fanout)
             out["mean_fanout"] = round(self.mean_fanout, 3)
@@ -164,10 +174,20 @@ class MetricsSnapshot:
             f"  queue wait p95: {self.wait_p95 * 1e3:.2f} ms   "
             f"service p95: {self.service_p95 * 1e3:.2f} ms",
             f"  batching: {self.batches} batches, mean size {self.mean_batch_size:.2f}, "
-            f"{self.coalesced} coalesced",
+            f"{self.coalesced} coalesced ({self.coalesced_batch} batch, "
+            f"{self.coalesced_inflight} in-flight)",
             f"  session pool: hit rate {self.pool_hit_rate:.1%} "
             f"({self.pool_hits} hits / {self.pool_misses} misses)",
         ]
+        cache = self.extra.get("cache")
+        if cache:
+            lines.append(
+                f"  answer cache: hit rate {cache.get('hit_rate', 0.0):.1%} "
+                f"({cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses), "
+                f"{cache.get('entries', 0)} entries, "
+                f"{cache.get('bytes', 0)} bytes resident, "
+                f"{cache.get('evictions', 0)} evicted"
+            )
         if self.fanout:
             widths = ", ".join(
                 f"{width}->{count}" for width, count in sorted(self.fanout.items())
@@ -239,7 +259,6 @@ class MetricsCollector:
         self._batches = self.registry.counter("service.batches")
         self._pool_hits = self.registry.counter("service.pool.hits")
         self._pool_misses = self.registry.counter("service.pool.misses")
-        self._coalesced = self.registry.counter("service.coalesced")
         self._latency = self.registry.histogram(
             "service.latency_seconds", window=sample_window
         )
@@ -274,7 +293,16 @@ class MetricsCollector:
 
     @property
     def coalesced(self) -> int:
-        return self._coalesced.value
+        """Total single-flight absorbs across both modes."""
+        return self.coalesced_batch + self.coalesced_inflight
+
+    @property
+    def coalesced_batch(self) -> int:
+        return self._labeled("service.coalesced", "mode").get("batch", 0)
+
+    @property
+    def coalesced_inflight(self) -> int:
+        return self._labeled("service.coalesced", "mode").get("inflight", 0)
 
     def _labeled(self, name: str, label: str, as_int_key: bool = False) -> dict:
         out: dict = {}
@@ -314,9 +342,14 @@ class MetricsCollector:
         else:
             self._pool_misses.inc()
 
-    def record_coalesced(self, n: int) -> None:
-        """Count requests that rode another identical request's execution."""
-        self._coalesced.inc(n)
+    def record_coalesced(self, n: int, mode: str = "batch") -> None:
+        """Count requests that rode another identical request's execution.
+
+        ``mode`` says where the absorb happened: ``"batch"`` for
+        duplicates collapsed inside one batch pickup, ``"inflight"`` for
+        submits that joined an earlier batch's still-open flight.
+        """
+        self.registry.counter("service.coalesced", mode=mode).inc(n)
 
     def record_response(self, response: QueryResponse) -> None:
         if response.error is not None:
@@ -406,6 +439,8 @@ class MetricsCollector:
             fanout=self.fanout,
             shard_queries=self.shard_queries,
             coalesced=self.coalesced,
+            coalesced_batch=self.coalesced_batch,
+            coalesced_inflight=self.coalesced_inflight,
             shard_restarts=shard_restarts,
             shard_revivals=shard_revivals,
             slo=slo,

@@ -40,10 +40,14 @@ class SessionPool:
         Maximum number of idle sessions retained. Sizing it at or above
         the working set of distinct preferences makes the hit rate
         approach 1.0; sizing below it degrades gracefully to the engine's
-        own index LRU.
+        own index LRU. The default covers the documented 64–128
+        preference Zipfian workload (a 64-session pool under a
+        128-preference working set self-inflicts eviction churn — watch
+        ``stats()['churn']``); the service constructor and the bench
+        CLIs expose it for sizing to the actual workload.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -52,6 +56,7 @@ class SessionPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.checkins = 0
         self._closed = False
 
     def checkout(
@@ -77,6 +82,7 @@ class SessionPool:
         """Return a session to the pool, evicting the coldest if full."""
         evicted: QuerySession | None = None
         with self._lock:
+            self.checkins += 1
             if self._closed:
                 evicted = session
             else:
@@ -98,6 +104,16 @@ class SessionPool:
         checkouts = self.hits + self.misses
         return self.hits / checkouts if checkouts else 0.0
 
+    @property
+    def churn(self) -> float:
+        """Fraction of checkins that evicted a session.
+
+        Near-zero when capacity covers the preference working set; a
+        sustained high churn means the pool is undersized for the
+        workload and warm sessions are being destroyed to make room.
+        """
+        return self.evictions / self.checkins if self.checkins else 0.0
+
     def stats(self) -> dict[str, float | int]:
         with self._lock:
             idle = len(self._idle)
@@ -106,8 +122,10 @@ class SessionPool:
             "idle": idle,
             "hits": self.hits,
             "misses": self.misses,
+            "checkins": self.checkins,
             "evictions": self.evictions,
             "hit_rate": round(self.hit_rate, 4),
+            "churn": round(self.churn, 4),
         }
 
     def close(self) -> None:

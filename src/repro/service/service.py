@@ -21,8 +21,21 @@ into a multi-client serving layer:
 * **Single-flight coalescing** — identical in-flight queries (same
   ``(k, tau, interval, direction, algorithm)`` under one preference)
   collapse onto one execution; every waiter gets its own copy of the
-  one answer, and the duplicates are counted as ``coalesced`` in the
-  metrics.
+  one answer. This works at two ranges: duplicates landing in the same
+  batch pickup dedupe inside the batch (``coalesced_batch``), and a
+  submit identical to a request *already queued or executing* joins
+  that request's flight in a cross-batch
+  :class:`~repro.cache.InFlightRegistry` without taking a queue slot
+  (``coalesced_inflight``). Followers inherit their leader's fate —
+  answer, timeout or shutdown — so no join can hang a future.
+* **Semantic answer cache** — pass a
+  :class:`~repro.cache.SemanticAnswerCache` as ``cache`` and every
+  submit first looks up the query's structure at the backend's current
+  ``dataset_version()``; an exact hit replays a clone of the cached
+  report and skips admission, queueing and execution entirely (the
+  response carries ``extra["cache"] = "exact"``). Batch leaders
+  back-fill the cache, keyed on the epoch their answer was actually
+  computed at, so ingest invalidates by construction.
 * **Session pooling** — the per-preference
   :class:`~repro.core.session.QuerySession` survives between batches in
   a bounded LRU :class:`~repro.service.pool.SessionPool`, so a hot
@@ -46,6 +59,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro.cache import InFlight, InFlightRegistry
 from repro.core.batch import clone_result
 from repro.obs import add_span, current_context, log_event, trace_span
 from repro.service.metrics import MetricsCollector
@@ -76,11 +90,17 @@ def shed_low_priority(request: QueryRequest, monitor) -> RejectionReason | None:
 
 @dataclass
 class _Pending:
-    """One queued request with its future and enqueue timestamp."""
+    """One queued request with its future and enqueue timestamp.
+
+    ``flight`` is the cross-batch single-flight entry this request
+    leads, if any: later identical submits join it instead of queueing,
+    and whoever resolves this request also settles the flight.
+    """
 
     request: QueryRequest
     future: "Future[QueryResponse]"
     enqueued: float
+    flight: InFlight | None = None
 
 
 class DurableTopKService:
@@ -116,6 +136,14 @@ class DurableTopKService:
         (lowest priority first) while the SLO fast window burns, instead
         of letting the queue fill and QUEUE_FULL shed arbitrary work.
         Defaults to :func:`shed_low_priority`; pass ``None`` to disable.
+    cache:
+        Optional :class:`~repro.cache.SemanticAnswerCache`. Submits
+        check it before admission (an exact hit answers without a queue
+        slot, session or execution) and batch leaders back-fill it; its
+        stats ride along in ``metrics.snapshot().extra["cache"]``.
+        Cross-batch single-flighting is always on — it needs no memory
+        budget and can never serve stale data (a joined flight executes
+        in the future, not the past).
     """
 
     def __init__(
@@ -124,11 +152,12 @@ class DurableTopKService:
         workers: int = 4,
         max_queue: int = 1024,
         max_batch: int = 16,
-        pool_capacity: int = 64,
+        pool_capacity: int = 128,
         default_timeout: float | None = None,
         metrics: MetricsCollector | None = None,
         max_concurrent_builds: int = 1,
         degradation=shed_low_priority,
+        cache=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -145,6 +174,11 @@ class DurableTopKService:
         self.max_batch = max_batch
         self.default_timeout = default_timeout
         self.degradation = degradation
+        self.cache = cache
+        self.inflight = InFlightRegistry()
+        # The epoch lookups and fills key on; backends without a version
+        # surface degrade to one constant epoch (static data).
+        self._version_of = getattr(backend, "dataset_version", None) or (lambda: 0)
         self.pool = SessionPool(pool_capacity)
         self.metrics = metrics if metrics is not None else MetricsCollector()
         # Backends that own lifecycle counters (the sharded backend's
@@ -152,6 +186,8 @@ class DurableTopKService:
         source = getattr(backend, "metrics_source", None)
         if source is not None:
             self.metrics.add_source(source)
+        if cache is not None:
+            self.metrics.add_source(lambda: {"cache": cache.stats()})
         self._build_gate = threading.Semaphore(max_concurrent_builds)
 
         self._lock = threading.Lock()
@@ -176,14 +212,41 @@ class DurableTopKService:
     def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
         """Enqueue a request; returns a future resolving to a response.
 
-        Admission control happens here: a full queue (or a closed
-        service) resolves the future immediately with a typed rejection,
-        and under SLO fast burn the degradation policy may shed the
-        request before it takes a queue slot.
+        The cheap reuse tiers run before admission: an exact answer-cache
+        hit resolves the future right here (no queue slot, no session,
+        no execution; ``extra["cache"] = "exact"``), and a request
+        identical to one already queued or executing joins that
+        request's flight and is resolved when the flight settles
+        (``extra["cache"] = "inflight"``). Only a genuine miss pays
+        admission control: a full queue (or a closed service) resolves
+        the future immediately with a typed rejection, and under SLO
+        fast burn the degradation policy may shed the request before it
+        takes a queue slot.
         """
         self.metrics.record_submit()
         future: "Future[QueryResponse]" = Future()
         key = request.key
+        if self.cache is not None:
+            start = time.perf_counter()
+            cached = self.cache.get(request, self._version_of())
+            if cached is not None:
+                elapsed = time.perf_counter() - start
+                response = QueryResponse(
+                    request=request,
+                    result=cached,
+                    service_seconds=elapsed,
+                    total_seconds=elapsed,
+                    batch_size=0,
+                    extra={"cache": "exact"},
+                )
+                self.metrics.record_response(response)
+                future.set_result(response)
+                return future
+        flight_key = (key, self._flight_signature(request))
+        if self.inflight.join(
+            flight_key, _Pending(request, future, time.perf_counter())
+        ):
+            return future
         monitor = self.metrics.slos
         if monitor is not None and self.degradation is not None:
             reason = self.degradation(request, monitor)
@@ -199,7 +262,12 @@ class DurableTopKService:
             if bucket is None:
                 bucket = deque()
                 self._pending[key] = bucket
-            bucket.append(_Pending(request, future, time.perf_counter()))
+            pending = _Pending(request, future, time.perf_counter())
+            # Now that the request holds a queue slot it becomes the
+            # leader for its structure; identical submits from here on
+            # ride its execution instead of queueing.
+            pending.flight = self.inflight.open(flight_key)
+            bucket.append(pending)
             if key not in self._active and len(bucket) == 1:
                 self._ready.append(key)
                 self._work_ready.notify()
@@ -229,6 +297,13 @@ class DurableTopKService:
             self._queued = 0
         for item in leftovers:
             self._reject(item.request, item.future, RejectionReason.SHUTDOWN)
+        # Flights whose leaders were never picked up (or joined after the
+        # leader resolved during shutdown) must not hang their followers.
+        for _, followers in self.inflight.drain():
+            for follower in followers:
+                self._reject(
+                    follower.request, follower.future, RejectionReason.SHUTDOWN
+                )
         self.pool.close()
         self.backend.close()
 
@@ -316,8 +391,10 @@ class DurableTopKService:
             # A session that cannot be built (e.g. a scorer whose
             # dimensionality doesn't match the dataset) fails this batch's
             # futures — never the worker thread, which must keep serving.
+            done = time.perf_counter()
             for item in batch:
                 item.future.set_exception(exc)
+                self._settle_flight(item, exc, batch_size=len(batch), done=done)
             return
         self.metrics.record_batch(pool_hit)
         try:
@@ -335,6 +412,60 @@ class DurableTopKService:
             request.direction,
             request.algorithm,
         )
+
+    def _settle_flight(
+        self,
+        item: _Pending,
+        outcome,
+        *,
+        batch_size: int,
+        done: float,
+        pool_hit: bool = False,
+    ) -> None:
+        """Resolve everyone who joined ``item``'s flight from its outcome.
+
+        Followers inherit the leader's fate — a clone of its answer, its
+        timeout/shutdown rejection, or its exception — exactly as if
+        they had landed in the leader's batch. A follower whose own
+        deadline passed still gets the answer: it exists, and serving it
+        is strictly better than manufacturing a timeout.
+        """
+        if item.flight is None:
+            return
+        followers = self.inflight.settle(item.flight)
+        item.flight = None
+        if not followers:
+            return
+        self.metrics.record_coalesced(len(followers), mode="inflight")
+        for follower in followers:
+            waited = max(0.0, done - follower.enqueued)
+            if isinstance(outcome, QueryRejected):
+                self.metrics.record_rejection(outcome.reason)
+                follower.future.set_result(
+                    QueryResponse(
+                        request=follower.request,
+                        error=outcome,
+                        wait_seconds=waited,
+                        total_seconds=waited,
+                        batch_size=batch_size,
+                        pool_hit=pool_hit,
+                        extra={"cache": "inflight"},
+                    )
+                )
+            elif isinstance(outcome, BaseException):
+                follower.future.set_exception(outcome)
+            else:
+                response = QueryResponse(
+                    request=follower.request,
+                    result=clone_result(outcome, query=follower.request.as_query()),
+                    wait_seconds=waited,
+                    total_seconds=waited,
+                    batch_size=batch_size,
+                    pool_hit=pool_hit,
+                    extra={"cache": "inflight"},
+                )
+                self.metrics.record_response(response)
+                follower.future.set_result(response)
 
     def _execute_batch(
         self, batch: list[_Pending], session, pool_hit: bool
@@ -395,6 +526,9 @@ class DurableTopKService:
                             pool_hit=pool_hit,
                         )
                     )
+                    self._settle_flight(
+                        item, error, batch_size=batch_size, done=now, pool_hit=pool_hit
+                    )
                     continue
                 live.append((item, wait))
             if not live:
@@ -424,7 +558,7 @@ class DurableTopKService:
                 source.append(slot)
             coalesced = len(live) - len(leaders)
             if coalesced:
-                self.metrics.record_coalesced(coalesced)
+                self.metrics.record_coalesced(coalesced, mode="batch")
             span.set(leaders=len(leaders), coalesced=coalesced)
 
             try:
@@ -447,7 +581,20 @@ class DurableTopKService:
                 outcome = results[slot]
                 if isinstance(outcome, BaseException):
                     item.future.set_exception(outcome)
+                    self._settle_flight(
+                        item, outcome,
+                        batch_size=batch_size, done=done, pool_hit=pool_hit,
+                    )
                     continue
+                if self.cache is not None and item is leaders[slot]:
+                    # Fill at the epoch the answer was computed at (the
+                    # live snapshot stamp when present): under ingest
+                    # that epoch may already trail the current one, and
+                    # such a fill can never be served — exactly right.
+                    version = outcome.extra.get("snapshot_version")
+                    if version is None:
+                        version = self._version_of()
+                    self.cache.put(item.request, version, outcome)
                 result = outcome if item is leaders[slot] else clone_result(outcome)
                 response = QueryResponse(
                     request=item.request,
@@ -460,6 +607,9 @@ class DurableTopKService:
                 )
                 self.metrics.record_response(response)
                 item.future.set_result(response)
+                self._settle_flight(
+                    item, outcome, batch_size=batch_size, done=done, pool_hit=pool_hit
+                )
 
 
 class LockedEngineService:

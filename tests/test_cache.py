@@ -1,0 +1,513 @@
+"""Tests for the semantic answer cache (`repro.cache`).
+
+The headline property is the one that makes a cache admissible at all:
+a cached service must be *indistinguishable* from an uncached one —
+every served answer byte-identical (ids, durations, stats) to a fresh
+recompute, at every epoch of a live, randomly interleaved ingest
+schedule. Everything else (LRU bounds, admission estimates, tier
+counters, single-flight fates) is mechanism in service of that.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cache import InFlightRegistry, SemanticAnswerCache, WindowMemo
+from repro.core.engine import DurableTopKEngine
+from repro.core.query import DurableTopKResult
+from repro.ingest import LiveDataset
+from repro.obs import MetricsRegistry
+from repro.scoring import LinearPreference
+from repro.service import (
+    DurableTopKService,
+    EngineBackend,
+    LiveBackend,
+    MetricsCollector,
+    QueryRequest,
+    SessionPool,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+
+# ----------------------------------------------------------------------
+# WindowMemo: the seeded tier
+# ----------------------------------------------------------------------
+class FakeIndex:
+    """Scores == ids; counts every call so memo hits are observable."""
+
+    def __init__(self, n: int = 100) -> None:
+        self._n = n
+        self.topk_calls = 0
+        self.top1_calls = 0
+        self.batch_calls = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def score(self, record_id: int) -> float:
+        return float(record_id)
+
+    def top1(self, lo: int, hi: int) -> int | None:
+        self.top1_calls += 1
+        hi = min(hi, self._n - 1)
+        return hi if hi >= lo else None
+
+    def topk(self, k: int, lo: int, hi: int) -> list[int]:
+        self.topk_calls += 1
+        hi = min(hi, self._n - 1)
+        return list(range(hi, max(lo, hi - k + 1) - 1, -1))
+
+    def topk_batch(self, k: int, windows) -> list[list[int]]:
+        self.batch_calls += 1
+        return [self.topk(k, lo, hi) for lo, hi in windows]
+
+
+class TestWindowMemo:
+    def test_memoises_and_delegates(self):
+        inner = FakeIndex()
+        memo = WindowMemo().bind(inner, version=0)
+        assert memo.n == inner.n
+        assert memo.score(7) == 7.0
+        first = memo.topk(3, 10, 20)
+        again = memo.topk(3, 10, 20)
+        assert first == again == inner.topk(3, 10, 20)
+        assert inner.topk_calls == 2  # one memoised call + the direct call
+        assert memo.top1(0, 50) == memo.top1(0, 50) == 50
+        assert inner.top1_calls == 1
+        assert memo.hits == 2
+
+    def test_rebind_same_version_seeds_across_batches(self):
+        inner = FakeIndex()
+        memo = WindowMemo().bind(inner, version=5)
+        memo.topk(3, 10, 20)
+        assert memo.seeds == 0
+        memo.bind(inner, version=5)  # next batch, same epoch
+        memo.topk(3, 10, 20)  # cross-batch reuse: a seed
+        memo.topk(3, 10, 20)  # same batch again: a plain hit
+        assert memo.seeds == 1
+        assert memo.hits == 2
+        assert inner.topk_calls == 1
+
+    def test_rebind_new_version_invalidates_everything(self):
+        inner = FakeIndex()
+        memo = WindowMemo().bind(inner, version=1)
+        memo.topk(3, 10, 20)
+        memo.top1(0, 50)
+        assert memo.entries == 2
+        memo.bind(FakeIndex(), version=2)
+        assert memo.entries == 0
+        assert memo.invalidations == 1
+        memo.topk(3, 10, 20)
+        assert memo.seeds == 0  # nothing survives an epoch change
+
+    def test_clear_empties_but_keeps_binding(self):
+        inner = FakeIndex()
+        memo = WindowMemo().bind(inner, version=3)
+        memo.topk(2, 0, 10)
+        memo.clear()
+        assert memo.entries == 0
+        assert memo.topk(2, 0, 10) == inner.topk(2, 0, 10)  # still usable
+
+    def test_lru_bound(self):
+        memo = WindowMemo(max_entries=4).bind(FakeIndex(), version=0)
+        for lo in range(6):
+            memo.topk(2, lo, lo + 10)
+        assert len(memo._topk) == 4
+        assert memo.evictions == 2
+
+    def test_prime_skips_memoised_windows(self):
+        inner = FakeIndex()
+        memo = WindowMemo().bind(inner, version=0)
+        direct = memo.topk(3, 10, 20)
+        calls_before = inner.topk_calls
+        memo.prime(3, [(10, 20), (30, 40)])
+        assert inner.batch_calls == 1
+        assert inner.topk_calls == calls_before + 1  # only the fresh window
+        assert memo.topk(3, 10, 20) == direct
+        assert memo.topk(3, 30, 40) == inner.topk(3, 30, 40)
+
+
+# ----------------------------------------------------------------------
+# SemanticAnswerCache: the exact tier
+# ----------------------------------------------------------------------
+def _request(k=3, tau=10, interval=(0, 99), algorithm="t-hop", weights=(0.7, 0.3)):
+    return QueryRequest(
+        scorer=LinearPreference(list(weights)),
+        k=k,
+        tau=tau,
+        interval=interval,
+        algorithm=algorithm,
+    )
+
+
+def _result(request, ids):
+    return DurableTopKResult(
+        ids=list(ids), query=request.as_query(), algorithm=request.algorithm
+    )
+
+
+class TestSemanticAnswerCache:
+    def test_hit_is_an_independent_clone(self):
+        cache = SemanticAnswerCache(registry=MetricsRegistry())
+        request = _request()
+        assert cache.get(request, version=0) is None
+        assert cache.put(request, 0, _result(request, [1, 2, 3]))
+        served = cache.get(request, version=0)
+        assert served.ids == [1, 2, 3]
+        served.ids.append(99)  # a caller mutating its response...
+        assert cache.get(request, version=0).ids == [1, 2, 3]  # ...changes nothing
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_every_structural_field_is_part_of_the_key(self):
+        cache = SemanticAnswerCache(registry=MetricsRegistry())
+        base = _request()
+        cache.put(base, 0, _result(base, [1]))
+        variants = [
+            (base, 1),  # another epoch
+            (_request(k=5), 0),
+            (_request(tau=11), 0),
+            (_request(interval=(0, 98)), 0),
+            (_request(algorithm="t-base"), 0),
+            (_request(weights=(0.5, 0.5)), 0),
+        ]
+        for request, version in variants:
+            assert cache.get(request, version) is None
+        assert cache.get(base, 0) is not None
+        # Preference identity is the weight content, not the object.
+        twin = _request()
+        assert twin.scorer is not base.scorer
+        assert cache.get(twin, 0).ids == [1]
+
+    def test_byte_lru_eviction(self):
+        registry = MetricsRegistry()
+        # ~148 bytes/entry (120 overhead + 8 * 3-4 ids): room for ~3.
+        cache = SemanticAnswerCache(
+            capacity_bytes=3 * 152, max_entry_bytes=1000, registry=registry
+        )
+        requests = [_request(tau=10 + i) for i in range(5)]
+        for i, request in enumerate(requests):
+            cache.put(request, 0, _result(request, range(i + 1)))
+        assert cache.evictions > 0
+        assert cache.bytes <= cache.capacity_bytes
+        assert cache.get(requests[0], 0) is None  # coldest went first
+        assert cache.get(requests[-1], 0) is not None
+        assert registry.counter("cache.evictions").value == cache.evictions
+        assert registry.gauge("cache.bytes").value == cache.bytes
+
+    def test_admission_refuses_oversized_answers(self):
+        cache = SemanticAnswerCache(
+            capacity_bytes=10_000, max_entry_bytes=200, registry=MetricsRegistry()
+        )
+        # Lemma 4 estimate k|I|/(tau+1): 10 * 10_000 / 2 = 50_000 ids.
+        huge = _request(k=10, tau=1, interval=(0, 9_999))
+        assert not cache.put(huge, 0, _result(huge, [1]))
+        assert cache.admission_rejected == 1
+        assert len(cache) == 0
+        # The estimate alone decides: a small actual answer is still refused.
+        assert cache.estimate_bytes(huge) > cache.max_entry_bytes
+
+    def test_stats_shape(self):
+        cache = SemanticAnswerCache(registry=MetricsRegistry())
+        request = _request()
+        cache.put(request, 0, _result(request, [4]))
+        cache.get(request, 0)
+        cache.get(request, 1)
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["fills"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["bytes"] == cache.bytes > 0
+
+
+# ----------------------------------------------------------------------
+# InFlightRegistry: cross-batch single-flight membership
+# ----------------------------------------------------------------------
+class TestInFlightRegistry:
+    def test_open_join_settle(self):
+        registry = InFlightRegistry()
+        assert not registry.join("key", "early")  # nothing open yet
+        flight = registry.open("key")
+        assert flight is not None
+        assert registry.open("key") is None  # one leader per key
+        assert registry.join("key", "a") and registry.join("key", "b")
+        assert registry.settle(flight) == ["a", "b"]
+        assert len(registry) == 0
+        assert not registry.join("key", "late")  # settled flights are gone
+
+    def test_drain_sweeps_everything(self):
+        registry = InFlightRegistry()
+        f1, f2 = registry.open("x"), registry.open("y")
+        registry.join("y", "w")
+        drained = dict(
+            (flight.key, followers) for flight, followers in registry.drain()
+        )
+        assert drained == {"x": [], "y": ["w"]}
+        assert registry.settle(f1) == [] and registry.settle(f2) == []
+
+
+# ----------------------------------------------------------------------
+# Service integration: exact tier, in-flight tier, metrics
+# ----------------------------------------------------------------------
+class GatedBackend(EngineBackend):
+    """EngineBackend whose executions block until released."""
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self.gate = threading.Event()
+        self.executing = threading.Event()
+
+    def execute_batch(self, session, requests):
+        self.executing.set()
+        self.gate.wait(timeout=10)
+        return super().execute_batch(session, requests)
+
+
+class TestServiceIntegration:
+    def test_exact_hit_skips_the_queue(self, small_ind, linear_2d):
+        cache = SemanticAnswerCache()
+        request = QueryRequest(
+            scorer=linear_2d, k=3, tau=30, interval=(0, 400), algorithm="t-hop"
+        )
+        with DurableTopKService(
+            EngineBackend(DurableTopKEngine(small_ind)), workers=2, cache=cache
+        ) as service:
+            cold = service.query(request)
+            warm = service.query(request)
+        assert cold.ok and warm.ok
+        assert "cache" not in cold.extra
+        assert warm.extra["cache"] == "exact"
+        assert warm.batch_size == 0  # never entered a batch
+        assert warm.result.ids == cold.result.ids
+        assert warm.result.stats.as_dict() == cold.result.stats.as_dict()
+        assert warm.result.durations == cold.result.durations
+        assert cache.stats()["hits"] == 1
+
+    def test_followers_join_an_open_flight_across_batches(self, small_ind, linear_2d):
+        backend = GatedBackend(DurableTopKEngine(small_ind))
+        request = QueryRequest(
+            scorer=linear_2d, k=3, tau=30, interval=(0, 400), algorithm="t-hop"
+        )
+        with DurableTopKService(backend, workers=1, max_batch=1) as service:
+            leader = service.submit(request)
+            assert backend.executing.wait(timeout=10)  # leader is mid-execution
+            followers = [service.submit(request) for _ in range(3)]
+            backend.gate.set()
+            outcomes = [leader.result(timeout=10)] + [
+                f.result(timeout=10) for f in followers
+            ]
+            snapshot = service.metrics.snapshot()
+        for response in outcomes:
+            assert response.ok
+            assert response.result.ids == outcomes[0].result.ids
+        assert all(r.extra.get("cache") == "inflight" for r in outcomes[1:])
+        assert snapshot.coalesced_inflight == 3
+        assert snapshot.coalesced == snapshot.coalesced_batch + 3
+
+    def test_followers_inherit_the_leaders_timeout(self, small_ind, linear_2d):
+        """A follower's fate is the leader's: here, a TIMEOUT rejection.
+
+        The leader expires while queued behind a held batch; its joined
+        follower (structurally identical, no timeout of its own) must be
+        rejected with it rather than hang or silently execute.
+        """
+        backend = GatedBackend(DurableTopKEngine(small_ind))
+        leader_request = QueryRequest(
+            scorer=linear_2d,
+            k=3,
+            tau=30,
+            interval=(0, 400),
+            algorithm="t-hop",
+            timeout=0.05,
+        )
+        follower_request = QueryRequest(
+            scorer=linear_2d, k=3, tau=30, interval=(0, 400), algorithm="t-hop"
+        )
+        blocker = QueryRequest(
+            scorer=linear_2d, k=3, tau=31, interval=(0, 400), algorithm="t-hop"
+        )
+        with DurableTopKService(backend, workers=1, max_batch=1) as service:
+            held = service.submit(blocker)
+            assert backend.executing.wait(timeout=10)
+            leader = service.submit(leader_request)
+            follower = service.submit(follower_request)  # joins the flight
+            time.sleep(0.1)  # let the leader's deadline pass while queued
+            backend.gate.set()
+            assert held.result(timeout=10).ok
+            for future in (leader, follower):
+                response = future.result(timeout=10)
+                assert not response.ok
+                assert response.error.reason.value == "timeout"
+            assert follower.result().extra.get("cache") == "inflight"
+
+    def test_cache_stats_ride_the_metrics_snapshot(self, small_ind, linear_2d):
+        cache = SemanticAnswerCache()
+        request = QueryRequest(
+            scorer=linear_2d, k=3, tau=30, interval=(0, 400), algorithm="t-hop"
+        )
+        with DurableTopKService(
+            EngineBackend(DurableTopKEngine(small_ind)), workers=2, cache=cache
+        ) as service:
+            service.query(request)
+            service.query(request)
+            snapshot = service.metrics.snapshot()
+        assert snapshot.extra["cache"]["hits"] == 1
+        assert "answer cache: hit rate" in snapshot.report()
+        assert snapshot.as_dict()["extra"]["cache"]["entries"] == 1
+
+
+# ----------------------------------------------------------------------
+# Equivalence: cached service == fresh recompute, statically and live
+# ----------------------------------------------------------------------
+class TestCachedServiceEquivalence:
+    def test_static_workload_byte_identical(self, small_ind):
+        spec = WorkloadSpec(
+            n_preferences=6,
+            d=small_ind.d,
+            k_choices=(3, 5),
+            tau_fractions=(0.05, 0.15),
+            interval_fractions=(0.3, 0.6),
+            algorithms=("t-hop", "t-base"),
+            seed=23,
+            shapes_per_preference=4,
+            shape_zipf_s=1.2,
+        )
+        stream = WorkloadGenerator(spec, small_ind.n).requests(120)
+        cache = SemanticAnswerCache()
+        with DurableTopKService(
+            EngineBackend(DurableTopKEngine(small_ind)),
+            workers=3,
+            max_batch=8,
+            cache=cache,
+        ) as service:
+            # First pass fills (duplicates ride batches and flights);
+            # the second pass hits the now-warm exact tier.
+            futures = [service.submit(request) for request in stream]
+            responses = [future.result() for future in futures]
+            futures = [service.submit(request) for request in stream]
+            responses += [future.result() for future in futures]
+        assert cache.stats()["hits"] > 0  # the repeats actually hit
+        reference = DurableTopKEngine(small_ind)
+        for request, response in zip(stream + stream, responses):
+            assert response.ok
+            expected = reference.query(
+                request.as_query(), request.scorer, request.algorithm
+            )
+            assert response.result.ids == expected.ids
+            assert response.result.durations == expected.durations
+            assert response.result.stats.as_dict() == expected.stats.as_dict()
+
+    @pytest.mark.parametrize("seed", [31, 32, 33])
+    def test_random_ingest_interleaving_never_stale(self, seed):
+        """Appends/seals/compactions racing cached queries: every response
+        must equal a fresh engine over the frozen prefix its snapshot
+        version pins — the cache can shortcut work, never time."""
+        rng = np.random.default_rng(seed)
+        shadow: list[np.ndarray] = []
+
+        live = LiveDataset(d=2, seal_rows=64, compact_fanout=2)
+        first = rng.random((120, 2))
+        live.extend(first)
+        shadow.extend(first)
+
+        scorers = [LinearPreference(np.abs(rng.normal(size=2)) + 0.1) for _ in range(3)]
+        # A small catalogue of shapes that repeat, so exact hits occur
+        # between epochs and are then invalidated by the next append.
+        catalogue = [
+            QueryRequest(
+                scorer=scorers[int(rng.integers(len(scorers)))],
+                k=int(rng.integers(1, 4)),
+                tau=int(rng.integers(2, 40)),
+                interval=(int(lo), int(lo + rng.integers(5, 60))),
+                algorithm="t-hop" if rng.random() < 0.5 else "t-base",
+            )
+            for lo in rng.integers(0, 60, size=6)
+        ]
+
+        cache = SemanticAnswerCache()
+        engines: dict[int, DurableTopKEngine] = {}
+        with DurableTopKService(
+            LiveBackend(live), workers=2, max_batch=4, cache=cache
+        ) as service:
+            for _ in range(70):
+                op = rng.random()
+                if op < 0.30:
+                    rows = rng.random((int(rng.integers(1, 30)), 2))
+                    live.extend(rows)
+                    shadow.extend(rows)
+                elif op < 0.40:
+                    live.seal()
+                elif op < 0.50:
+                    live.compact(force=bool(rng.random() < 0.3))
+                else:
+                    request = catalogue[int(rng.integers(len(catalogue)))]
+                    response = service.query(request)
+                    assert response.ok
+                    n_snap = response.result.extra["snapshot_n"]
+                    engine = engines.get(n_snap)
+                    if engine is None:
+                        from repro.core.record import Dataset
+
+                        engine = engines[n_snap] = DurableTopKEngine(
+                            Dataset(np.asarray(shadow[:n_snap]), name=f"pfx-{n_snap}")
+                        )
+                    expected = engine.query(
+                        request.as_query(), request.scorer, request.algorithm
+                    )
+                    assert response.result.ids == expected.ids, (seed, n_snap)
+                    assert response.result.durations == expected.durations
+            # With ingest quiesced, a repeat is an exact hit at this epoch.
+            repeat = catalogue[0]
+            service.query(repeat)
+            settled = service.query(repeat)
+            assert settled.extra.get("cache") == "exact"
+        assert cache.stats()["hits"] > 0
+        live.close()
+
+
+# ----------------------------------------------------------------------
+# Satellites: pool sizing/churn, coalesced accounting split
+# ----------------------------------------------------------------------
+class TestPoolSizing:
+    def test_default_capacity_covers_documented_workload(self):
+        assert SessionPool().capacity == 128
+
+    def test_stats_expose_churn(self, small_ind, linear_2d):
+        pool = SessionPool(capacity=1)
+        engine = DurableTopKEngine(small_ind)
+        other = LinearPreference([0.2, 0.8])
+        for scorer in (linear_2d, other, linear_2d, other):
+            session, _ = pool.checkout(
+                (tuple(scorer.u),), lambda s=scorer: engine.session(s)
+            )
+            pool.checkin((tuple(scorer.u),), session)
+        stats = pool.stats()
+        assert stats["checkins"] == 4
+        assert stats["evictions"] == 3  # every swap evicts under capacity 1
+        assert stats["churn"] == 0.75
+        pool.close()
+
+    def test_service_constructor_exposes_capacity(self, small_ind):
+        with DurableTopKService(
+            EngineBackend(DurableTopKEngine(small_ind)), pool_capacity=7
+        ) as service:
+            assert service.pool.capacity == 7
+
+
+class TestCoalescedAccountingSplit:
+    def test_modes_are_counted_separately(self):
+        collector = MetricsCollector(registry=MetricsRegistry())
+        collector.record_coalesced(2, mode="batch")
+        collector.record_coalesced(3, mode="inflight")
+        snapshot = collector.snapshot()
+        assert snapshot.coalesced_batch == 2
+        assert snapshot.coalesced_inflight == 3
+        assert snapshot.coalesced == 5
+        assert snapshot.as_dict()["coalesced_batch"] == 2
+        assert snapshot.as_dict()["coalesced_inflight"] == 3
+        assert "5 coalesced (2 batch, 3 in-flight)" in snapshot.report()

@@ -191,7 +191,13 @@ class TestAdmissionControl:
 
         backend.execute_batch = slow_execute_batch
         try:
-            futures = [self._request(linear_2d) for _ in range(8)]
+            # Structurally distinct requests (tau varies): identical ones
+            # would ride the first one's flight via cross-batch
+            # single-flight instead of occupying queue slots.
+            futures = [
+                QueryRequest(scorer=linear_2d, k=3, tau=20 + i, algorithm="t-hop")
+                for i in range(8)
+            ]
             futures = [service.submit(r) for r in futures]
             gate.set()
             responses = [f.result() for f in futures]
@@ -222,8 +228,13 @@ class TestAdmissionControl:
         try:
             blocker = service.submit(self._request(linear_2d))
             time.sleep(0.05)  # the worker takes the blocker's batch and stalls
+            # A different structure (tau) so it queues behind the blocker
+            # instead of joining its flight (a flight follower would be
+            # served from the leader's answer, never timeout-rejected).
             expired = service.submit(
-                self._request(linear_2d, timeout=0.01)
+                QueryRequest(
+                    scorer=linear_2d, k=3, tau=21, algorithm="t-hop", timeout=0.01
+                )
             )
             time.sleep(0.05)
             gate.set()
