@@ -1,0 +1,36 @@
+"""Gateway throughput benchmark: the wire must be cheap and honest.
+
+Asserts the network front door's tentpole claim: serving the PR 8
+workload over localhost TCP — length-prefixed JSON frames, per-request
+hashed-key auth, per-tenant admission — costs at most 1.5x the
+in-process p95 at the same offered load, with nothing rejected.
+
+Byte-identity is asserted unconditionally: every socket-served answer
+(ids, durations *and* per-query stats) is re-derived on a fresh
+in-process engine. A gateway that returns fast wrong answers is not a
+gateway.
+"""
+
+from repro.experiments.gateway_bench import SLO_P95_RATIO, gateway_throughput_bench
+
+
+def test_gateway_throughput(save_report):
+    result = gateway_throughput_bench(
+        n=24_000,
+        requests=400,
+        rate=150.0,
+        clients=4,
+        workers=4,
+        n_preferences=16,
+        rounds=2,
+        verify=True,
+    )
+    save_report(result.name, result.report, result.metrics)
+
+    # Correctness half: every socket answer re-derives byte-identically.
+    assert result.data["incorrect"] == 0, result.report
+    assert result.data["rejected"] == 0, result.report
+    assert result.data["verified"] == result.data["requests"], result.report
+
+    # Performance half: the wire p95 price stays within the SLO.
+    assert result.data["p95_ratio"] <= SLO_P95_RATIO, result.report

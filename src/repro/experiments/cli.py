@@ -17,6 +17,9 @@ Usage::
     python -m repro batch-bench --smoke
     python -m repro obs-bench --out results/
     python -m repro obs-bench --smoke
+    python -m repro gateway --port 8334
+    python -m repro gateway-bench --out results/
+    python -m repro gateway-bench --smoke
     python -m repro perf-report --baseline benchmarks/baselines --current results
     python -m repro perf-gate --baseline benchmarks/baselines --current results
     python -m repro top --once
@@ -37,9 +40,15 @@ throughput-vs-shards scaling curve; ``batch-bench`` compares a serial
 ``query`` loop against ``query_batch`` on same-preference Zipfian
 batches and reports the per-query CPU speedup curve; ``obs-bench``
 measures the tracing overhead in both modes and checks traced answers
-stay byte-identical. For all five, ``--smoke`` runs small with serial
-verification and exits non-zero on any rejected or incorrect response —
-the CI gates. Every saved report is stamped with an environment
+stay byte-identical; ``gateway`` serves the durable top-k service over
+TCP (length-prefixed JSON frames, per-tenant API keys) until
+interrupted, and ``gateway-bench`` compares client-observed open-loop
+latency over real localhost sockets against the same service driven
+in-process, gating the socket p95 at 1.5x the in-process p95 (its
+``--smoke`` additionally re-derives every socket-served answer
+byte-identically on a fresh engine). For all of them, ``--smoke`` runs
+small with serial verification and exits non-zero on any rejected or
+incorrect response — the CI gates. Every saved report is stamped with an environment
 fingerprint and pairs with a schema'd ``BENCH_<name>.json`` telemetry
 file; ``perf-report`` diffs the current telemetry against an archived
 baseline (``--promote`` refreshes the baseline), ``perf-gate`` is the
@@ -379,6 +388,71 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=Path("results"),
         help="directory for obs_overhead.txt (default: results/)",
+    )
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve the durable top-k service over TCP until interrupted",
+    )
+    gateway.add_argument("--host", default="127.0.0.1", help="bind address")
+    gateway.add_argument("--port", type=int, default=8334, help="bind port (0 = OS pick)")
+    gateway.add_argument("--n", type=int, default=60_000, help="demo dataset size")
+    gateway.add_argument("--workers", type=int, default=4, help="service worker threads")
+    gateway.add_argument(
+        "--api-key",
+        action="append",
+        default=None,
+        metavar="KEY=TENANT",
+        help="accept KEY for TENANT (repeatable; default: dev-key=dev)",
+    )
+    gateway.add_argument(
+        "--tenant-rate", type=float, default=1000.0, help="token-bucket refill req/s"
+    )
+    gateway.add_argument(
+        "--tenant-burst", type=float, default=200.0, help="token-bucket burst size"
+    )
+    gateway.add_argument(
+        "--tenant-inflight", type=int, default=256, help="per-tenant queue quota"
+    )
+
+    gwbench = sub.add_parser(
+        "gateway-bench",
+        help="benchmark socket-served vs in-process latency at equal offered load",
+    )
+    gwbench.add_argument("--n", type=int, default=60_000, help="dataset size")
+    gwbench.add_argument("--requests", type=int, default=1000, help="requests per round")
+    gwbench.add_argument(
+        "--rate", type=float, default=250.0, help="offered open-loop arrival rate (req/s)"
+    )
+    gwbench.add_argument("--clients", type=int, default=8, help="socket client connections")
+    gwbench.add_argument("--workers", type=int, default=8, help="service worker threads")
+    gwbench.add_argument(
+        "--preferences", type=int, default=64, help="distinct preference vectors"
+    )
+    gwbench.add_argument("--zipf", type=float, default=0.9, help="zipf exponent")
+    gwbench.add_argument("--rounds", type=int, default=2, help="timed rounds per side")
+    gwbench.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-derive every socket-served answer on a fresh engine",
+    )
+    gwbench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run with --verify; exit 1 on any non-identical/rejected "
+        "response or a wire p95 price above the SLO ceiling",
+    )
+    gwbench.add_argument(
+        "--pool-capacity",
+        type=int,
+        default=None,
+        help="session pool capacity (default: sized to --preferences)",
+    )
+    gwbench.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for gateway_throughput.txt (default: results/)",
     )
 
     for name, blurb in [
@@ -796,6 +870,102 @@ def _obs_bench(args) -> int:
     )
 
 
+def _gateway_serve(args) -> int:
+    """``repro gateway`` — serve a demo-backed service until interrupted."""
+    from repro.core.engine import DurableTopKEngine
+    from repro.data import independent_uniform
+    from repro.gateway import DurableTopKGateway, Tenant
+    from repro.service import DurableTopKService, EngineBackend
+
+    pairs = args.api_key if args.api_key else ["dev-key=dev"]
+    keys = {}
+    for pair in pairs:
+        key, _, tenant = pair.partition("=")
+        if not key or not tenant:
+            print(f"--api-key must be KEY=TENANT, got {pair!r}")
+            return 2
+        keys[key] = Tenant(
+            tenant,
+            rate=args.tenant_rate,
+            burst=args.tenant_burst,
+            max_inflight=args.tenant_inflight,
+        )
+    from repro.cache import SemanticAnswerCache
+
+    dataset = independent_uniform(args.n, 2, seed=7)
+    with DurableTopKService(
+        EngineBackend(DurableTopKEngine(dataset)),
+        workers=args.workers,
+        cache=SemanticAnswerCache(),
+    ) as service:
+        gateway = DurableTopKGateway(
+            service, keys, host=args.host, port=args.port
+        ).start()
+        tenants = ", ".join(sorted(t.name for t in keys.values()))
+        print(
+            f"gateway serving n={args.n} on {args.host}:{gateway.port} "
+            f"({args.workers} workers; tenants: {tenants}) — Ctrl-C to drain"
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("draining...")
+        finally:
+            gateway.close()
+    return 0
+
+
+def _gateway_bench(args) -> int:
+    from repro.experiments.gateway_bench import (
+        SLO_P95_RATIO,
+        SMOKE_DEFAULTS,
+        gateway_throughput_bench,
+    )
+
+    kwargs = {
+        "n": args.n,
+        "requests": args.requests,
+        "rate": args.rate,
+        "clients": args.clients,
+        "workers": args.workers,
+        "n_preferences": args.preferences,
+        "zipf_s": args.zipf,
+        "rounds": args.rounds,
+        "pool_capacity": args.pool_capacity,
+        "verify": args.verify or args.smoke,
+    }
+    if args.smoke:
+        kwargs.update(SMOKE_DEFAULTS)
+        kwargs["verify"] = True
+    start = time.perf_counter()
+    result = gateway_throughput_bench(**kwargs)
+    elapsed = time.perf_counter() - start
+    failures = []
+    if args.smoke:
+        failures = _response_failures(result.data)
+        if result.data["verified"] != result.data["requests"]:
+            failures.append(
+                f"socket re-derivation {result.data['verified']}/"
+                f"{result.data['requests']}"
+            )
+        if result.data["p95_ratio"] > SLO_P95_RATIO:
+            failures.append(
+                f"wire p95 price {result.data['p95_ratio']:.2f}x exceeds the "
+                f"{SLO_P95_RATIO}x SLO"
+            )
+    return _finish_bench(
+        "gateway-bench",
+        result,
+        elapsed,
+        args.out,
+        args.smoke,
+        failures,
+        "smoke ok: every socket-served answer byte-identical on a fresh engine, "
+        f"wire p95 price within {SLO_P95_RATIO}x SLO",
+    )
+
+
 def _perf(args, gate_mode: bool) -> int:
     from repro.experiments.perf import compare_dirs, format_report, gate, promote
 
@@ -939,6 +1109,10 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_bench(args)
     if args.command == "obs-bench":
         return _obs_bench(args)
+    if args.command == "gateway":
+        return _gateway_serve(args)
+    if args.command == "gateway-bench":
+        return _gateway_bench(args)
     if args.command == "perf-report":
         return _perf(args, gate_mode=False)
     if args.command == "perf-gate":

@@ -89,6 +89,10 @@ class Dashboard:
         self._last_time = now
         snap = self.collector.snapshot()
 
+        # Frame-over-frame, not the collector's lifetime average: the
+        # lifetime figure decays instead of dropping when traffic stops,
+        # so an idle system would keep showing the previous load forever.
+        req_rate = self._rate("service.completed", float(snap.completed), dt)
         wal_rate = self._rate("wal.fsyncs", self._counter_total("wal.fsyncs"), dt)
         seal_rate = self._rate("ingest.seals", self._counter_total("ingest.seals"), dt)
         segments = self._gauge_total("ingest.segments")
@@ -103,7 +107,7 @@ class Dashboard:
             f"{title}{' ' * max(1, width - len(title) - len(uptime))}{uptime}",
             "─" * width,
             f"requests   {snap.completed} ok / {snap.rejected_total} rejected"
-            f"   throughput {snap.throughput:8.1f} req/s"
+            f"   throughput {req_rate:8.1f} req/s"
             f"   queued wait p95 {snap.wait_p95 * 1e3:6.2f} ms",
             f"latency ms p50 {snap.latency_p50 * 1e3:7.2f}"
             f"   p95 {snap.latency_p95 * 1e3:7.2f}"
@@ -118,16 +122,38 @@ class Dashboard:
             tier = dict(series.labels).get("tier", "?")
             tiers[tier] = tiers.get(tier, 0.0) + series.value
         lookups = sum(tiers.values())
+        # Rate bookkeeping runs every frame, rendered or not: otherwise
+        # the frame a row first appears would report a delta accumulated
+        # over many frames as if it happened in one.
+        seed_rate = self._rate(
+            "cache.window_seeds", self._counter_total("cache.window_seeds"), dt
+        )
         if lookups:
             hits = tiers.get("exact", 0.0)
-            seed_rate = self._rate(
-                "cache.window_seeds", self._counter_total("cache.window_seeds"), dt
-            )
             resident = self._gauge_total("cache.bytes")
             lines.append(
                 f"cache      hit {hits / lookups:6.1%} ({hits:.0f}/{lookups:.0f})"
                 f"   seeds {seed_rate:6.1f}/s"
                 f"   resident {resident / 1024:7.1f} KiB"
+            )
+        gw_ok = gw_rejected = 0.0
+        for series in self.registry.collect(kind="counter", prefix="gateway.requests"):
+            if dict(series.labels).get("outcome") == "ok":
+                gw_ok += series.value
+            else:
+                gw_rejected += series.value
+        gw_conns_total = self._counter_total("gateway.connections_total")
+        gw_ok_rate = self._rate("gateway.ok", gw_ok, dt)
+        gw_rejected_rate = self._rate("gateway.rejected", gw_rejected, dt)
+        gw_in_rate = self._rate("gateway.bytes_in", self._counter_total("gateway.bytes_in"), dt)
+        gw_out_rate = self._rate(
+            "gateway.bytes_out", self._counter_total("gateway.bytes_out"), dt
+        )
+        if gw_conns_total:
+            lines.append(
+                f"gateway    conns {self._gauge_total('gateway.connections'):.0f}"
+                f"   ok {gw_ok_rate:6.1f}/s   rejected {gw_rejected_rate:6.1f}/s"
+                f"   in/out {gw_in_rate / 1024:6.1f}/{gw_out_rate / 1024:6.1f} KiB/s"
             )
         if snap.fanout:
             shares = "  ".join(

@@ -1,0 +1,136 @@
+"""Tenant identity and admission budgets for the gateway.
+
+The hot path is one dict lookup. Passport-scorer's
+``API_KEY_PERFORMANCE_FIX.md`` (see `/root/related/`) documents the
+anti-pattern this module is designed against: validating an API key
+with a per-request bcrypt-style *slow* hash added ~2.5 s to every
+request. Here keys are hashed once — SHA-256 at registry load time —
+and the per-request cost is ``sha256(key)`` (sub-microsecond) plus a
+single ``dict.get`` against the pre-hashed table. Plaintext keys are
+never stored server-side.
+
+Registry mutation (load/add/revoke) happens off the hot path and swaps
+the lookup dict atomically (CPython dict assignment is a single store),
+so readers never lock: a revocation is visible to the very next request
+because every request re-resolves its tenant — connections do not cache
+an admission decision.
+
+Each :class:`Tenant` carries its admission budgets:
+
+* ``rate``/``burst`` — a token bucket (tokens replenish continuously at
+  ``rate`` per second up to ``burst``) refusing work *before* it costs a
+  service queue slot, with the ``rate_limited`` wire code;
+* ``max_inflight`` — a per-tenant queue quota: how many of the tenant's
+  requests may be inside the service (queued or executing) at once, so
+  one tenant's backlog cannot monopolise the shared bounded admission
+  queue. Refusals reuse the service's ``queue_full`` rejection code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["ApiKeyRegistry", "Tenant", "TokenBucket", "hash_key"]
+
+
+def hash_key(key: str) -> str:
+    """The stored/lookup form of an API key (hex SHA-256)."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One paying customer's identity and admission budgets."""
+
+    name: str
+    #: Sustained requests/second (token-bucket refill rate).
+    rate: float = 100.0
+    #: Bucket capacity — the burst a quiet tenant may spend at once.
+    burst: float = 50.0
+    #: Per-tenant queue quota: max requests in the service at once.
+    max_inflight: int = 64
+    #: Default service priority for the tenant's requests (requests may
+    #: still lower their own; see RejectionReason.SHED).
+    priority: int = 0
+
+
+class ApiKeyRegistry:
+    """Pre-hashed API-key → :class:`Tenant` table with atomic refresh.
+
+    ``lookup_hashed`` is the per-request fast path: one dict get, no
+    lock. The write side (:meth:`load`, :meth:`add`, :meth:`revoke`)
+    serialises under a lock, builds the new table off to the side and
+    publishes it with a single reference swap.
+    """
+
+    def __init__(self, keys: dict[str, Tenant] | None = None) -> None:
+        self._write_lock = threading.Lock()
+        self._by_hash: dict[str, Tenant] = {}
+        if keys:
+            self.load(keys)
+
+    def load(self, keys: dict[str, Tenant]) -> None:
+        """Replace the whole table (full registry refresh)."""
+        table = {hash_key(key): tenant for key, tenant in keys.items()}
+        with self._write_lock:
+            self._by_hash = table
+
+    def add(self, key: str, tenant: Tenant) -> None:
+        """Add or replace one key without disturbing the others."""
+        with self._write_lock:
+            table = dict(self._by_hash)
+            table[hash_key(key)] = tenant
+            self._by_hash = table
+
+    def revoke(self, key: str) -> bool:
+        """Remove one key; the next request under it fails auth."""
+        with self._write_lock:
+            table = dict(self._by_hash)
+            removed = table.pop(hash_key(key), None) is not None
+            self._by_hash = table
+        return removed
+
+    def lookup(self, key: str) -> Tenant | None:
+        """Resolve a plaintext key (hashes, then the dict get)."""
+        return self._by_hash.get(hash_key(key))
+
+    def lookup_hashed(self, digest: str) -> Tenant | None:
+        """The hot path: resolve an already-hashed key. One dict get."""
+        return self._by_hash.get(digest)
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (thread-safe, monotonic clock).
+
+    Starts full. ``try_acquire`` never blocks: it refills by elapsed
+    time, then either spends a token or reports the refusal — the
+    gateway turns refusals into ``rate_limited`` wire errors rather
+    than queueing, so a hammering tenant gets immediate backpressure
+    instead of inflating everyone's queue wait.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        now = self._clock()
+        with self._lock:
+            elapsed = now - self._stamp
+            if elapsed > 0:
+                self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+                self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False

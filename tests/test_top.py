@@ -86,6 +86,45 @@ class TestDashboardFrame:
         clock.t = 14.0  # no new fsyncs -> rate falls back to 0
         assert "wal fsync    0.0/s" in dashboard.frame()
 
+    def test_idle_frame_shows_zero_throughput(self):
+        # The requests row must be frame-over-frame: the collector's
+        # lifetime average stays positive long after traffic stops, and
+        # an idle dashboard showing yesterday's rate is a lie.
+        clock = FakeClock(100.0)
+        dashboard, collector, _ = make_dashboard(clock=clock)
+        dashboard.frame()
+        for _ in range(20):
+            collector.record_response(response(0.005))
+        clock.t = 102.0  # 20 completions over 2 s -> 10.0/s
+        assert "throughput     10.0 req/s" in dashboard.frame()
+        clock.t = 104.0  # idle frame: rate must drop to zero ...
+        frame = dashboard.frame()
+        assert "throughput      0.0 req/s" in frame
+        # ... even though the lifetime average is still positive.
+        assert collector.snapshot().throughput > 0.0
+
+    def test_gateway_row_rates_and_idle_reset(self):
+        clock = FakeClock(50.0)
+        dashboard, _, registry = make_dashboard(clock=clock)
+        assert "gateway" not in dashboard.frame()
+        registry.counter("gateway.connections_total").inc(2)
+        registry.gauge("gateway.connections").inc(2)
+        registry.counter("gateway.requests", tenant="acme", outcome="ok").inc(12)
+        registry.counter("gateway.requests", tenant="acme", outcome="rate_limited").inc(4)
+        registry.counter("gateway.bytes_in", tenant="acme").inc(4096)
+        registry.counter("gateway.bytes_out", tenant="acme").inc(8192)
+        clock.t = 52.0  # over 2 s: 6 ok/s, 2 rejected/s, 2/4 KiB/s
+        frame = dashboard.frame()
+        assert "gateway    conns 2" in frame
+        assert "ok    6.0/s" in frame
+        assert "rejected    2.0/s" in frame
+        assert "in/out    2.0/   4.0 KiB/s" in frame
+        clock.t = 54.0  # idle: every gateway rate falls back to zero
+        frame = dashboard.frame()
+        assert "ok    0.0/s" in frame
+        assert "rejected    0.0/s" in frame
+        assert "in/out    0.0/   0.0 KiB/s" in frame
+
     def test_slo_rows_render_burning_state(self):
         clock = FakeClock(100.0)
         dashboard, collector, _ = make_dashboard(clock=clock, slos=True)
